@@ -1,0 +1,56 @@
+// Command figure5 reproduces Figure 5 of the paper: the prevalence of
+// errors across repeated executions of the stock (nondeterministic)
+// brake assistant.
+//
+// Usage:
+//
+//	figure5 [-instances N] [-frames F] [-seed S]
+//
+// The paper runs 20 instances of 100 000 frames each; defaults match.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	instances := flag.Int("instances", 20, "experiment instances")
+	frames := flag.Int("frames", 100000, "frames per instance")
+	seed := flag.Uint64("seed", 2024, "base seed (instance i uses seed+i)")
+	csv := flag.Bool("csv", false, "emit CSV instead of a text table")
+	flag.Parse()
+
+	res, err := exp.RunFigure5(*seed, *instances, *frames)
+	if err != nil {
+		log.Fatalf("figure5: %v", err)
+	}
+
+	fmt.Printf("Figure 5 — error prevalence across %d executions of the baseline brake assistant\n", *instances)
+	fmt.Printf("frames per instance: %d\n\n", *frames)
+	if *csv {
+		fmt.Print(res.Table().CSV())
+	} else {
+		fmt.Print(res.Table())
+		fmt.Println()
+		// Sorted bar chart like the paper's plot.
+		prevs := res.Prevalences()
+		maxP := 0.01
+		for _, p := range prevs {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		for i := len(prevs) - 1; i >= 0; i-- {
+			bar := strings.Repeat("#", int(prevs[i]/maxP*50))
+			fmt.Printf("instance %2d |%-50s| %6.3f%%\n", i+1, bar, prevs[i])
+		}
+	}
+	min, mean, max := res.Stats()
+	fmt.Printf("\nprevalence: min=%.3f%%  mean=%.3f%%  max=%.3f%%\n", min, mean, max)
+	fmt.Println("(paper, 100k frames on 2x MinnowBoard: min=0.018%  mean=5.60%  max=22.25%)")
+}

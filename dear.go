@@ -1,0 +1,322 @@
+package dear
+
+import (
+	"repro/internal/ara"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/reactor"
+	"repro/internal/simnet"
+	"repro/internal/someip"
+)
+
+// --- Logical time ---
+
+// Time is a point in logical (or simulated physical) time in nanoseconds.
+type Time = logical.Time
+
+// Duration is a span of logical time in nanoseconds.
+type Duration = logical.Duration
+
+// Tag is a superdense-time tag (time point, microstep).
+type Tag = logical.Tag
+
+// Microstep orders logically-simultaneous events at one time point.
+type Microstep = logical.Microstep
+
+// Duration units.
+const (
+	Nanosecond  = logical.Nanosecond
+	Microsecond = logical.Microsecond
+	Millisecond = logical.Millisecond
+	Second      = logical.Second
+	Minute      = logical.Minute
+	Hour        = logical.Hour
+)
+
+// Forever is the largest representable time point.
+const Forever = logical.Forever
+
+// --- Reactor runtime ---
+
+// Environment owns a reactor program and its scheduler.
+type Environment = reactor.Environment
+
+// Options configures an Environment.
+type Options = reactor.Options
+
+// Reactor is a named collection of reactions, ports, actions and timers.
+type Reactor = reactor.Reactor
+
+// Reaction is a unit of computation triggered by tagged events.
+type Reaction = reactor.Reaction
+
+// ReactionCtx is passed to reaction bodies and deadline handlers.
+type ReactionCtx = reactor.Ctx
+
+// Trigger is anything that can trigger a reaction.
+type Trigger = reactor.Trigger
+
+// Effect is anything a reaction may write or schedule.
+type Effect = reactor.Effect
+
+// Port is a typed reactor port.
+type Port[T any] = reactor.Port[T]
+
+// Action is a typed schedulable event source (logical or physical).
+type Action[T any] = reactor.Action[T]
+
+// Timer triggers reactions periodically.
+type Timer = reactor.Timer
+
+// Clock supplies physical time to an environment.
+type Clock = reactor.Clock
+
+// RealClock drives an environment from the wall clock.
+type RealClock = reactor.RealClock
+
+// SimClock drives an environment deterministically from a DES kernel.
+type SimClock = reactor.SimClock
+
+// TraceEvent describes one reaction execution for trace hooks.
+type TraceEvent = reactor.TraceEvent
+
+// NewEnvironment creates an empty reactor environment.
+func NewEnvironment(opts Options) *Environment { return reactor.NewEnvironment(opts) }
+
+// NewRealClock returns a wall-clock Clock with time zero at creation.
+func NewRealClock() *RealClock { return reactor.NewRealClock() }
+
+// NewSimClock creates a deterministic clock for a scheduler running as
+// DES process p; local may be nil to use global simulated time.
+func NewSimClock(p *Process, local *LocalClock) *SimClock {
+	return reactor.NewSimClock(p, local)
+}
+
+// NewInputPort creates an input port on reactor r.
+func NewInputPort[T any](r *Reactor, name string) *Port[T] {
+	return reactor.NewInputPort[T](r, name)
+}
+
+// NewOutputPort creates an output port on reactor r.
+func NewOutputPort[T any](r *Reactor, name string) *Port[T] {
+	return reactor.NewOutputPort[T](r, name)
+}
+
+// NewLogicalAction creates a logical action with a minimum delay.
+func NewLogicalAction[T any](r *Reactor, name string, minDelay Duration) *Action[T] {
+	return reactor.NewLogicalAction[T](r, name, minDelay)
+}
+
+// NewPhysicalAction creates a physical action — the sanctioned interface
+// for sporadic sensors, interrupts and network receptions.
+func NewPhysicalAction[T any](r *Reactor, name string, minDelay Duration) *Action[T] {
+	return reactor.NewPhysicalAction[T](r, name, minDelay)
+}
+
+// NewTimer creates a timer on reactor r (period 0 = one-shot).
+func NewTimer(r *Reactor, name string, offset, period Duration) *Timer {
+	return reactor.NewTimer(r, name, offset, period)
+}
+
+// Connect wires an upstream port to a downstream port with zero logical
+// delay.
+func Connect[T any](up, down *Port[T]) { reactor.Connect(up, down) }
+
+// ConnectDelayed wires ports with a logical delay ("after" semantics).
+func ConnectDelayed[T any](up, down *Port[T], delay Duration) {
+	reactor.ConnectDelayed(up, down, delay)
+}
+
+// --- DEAR framework ---
+
+// SWC is a DEAR-enabled software component: a tagged ara::com runtime
+// plus a reactor environment running as a platform process.
+type SWC = core.SWC
+
+// StartOptions tune the reactor environment of an SWC.
+type StartOptions = core.StartOptions
+
+// TransactorConfig carries per-transactor timing parameters (deadline D,
+// latency bound L, clock error bound E, untagged-message policy).
+type TransactorConfig = core.TransactorConfig
+
+// LinkConfig carries the timing assumptions of a DEAR deployment.
+type LinkConfig = core.LinkConfig
+
+// TransactorStats counts observable error conditions at a transactor.
+type TransactorStats = core.TransactorStats
+
+// UntaggedPolicy selects the treatment of untagged (legacy) messages.
+type UntaggedPolicy = core.UntaggedPolicy
+
+// Untagged policies.
+const (
+	UntaggedFail         = core.UntaggedFail
+	UntaggedPhysicalTime = core.UntaggedPhysicalTime
+)
+
+// Transactors translate between reactor ports and AP service interfaces
+// (Figure 3 of the paper).
+type (
+	// ClientMethodTransactor invokes a remote method per request event.
+	ClientMethodTransactor = core.ClientMethodTransactor
+	// ServerMethodTransactor turns invocations into tagged port events.
+	ServerMethodTransactor = core.ServerMethodTransactor
+	// ClientEventTransactor emits received notifications as port events.
+	ClientEventTransactor = core.ClientEventTransactor
+	// ServerEventTransactor publishes port events as notifications.
+	ServerEventTransactor = core.ServerEventTransactor
+	// ClientFieldTransactor bundles get/set/notifier for a field.
+	ClientFieldTransactor = core.ClientFieldTransactor
+	// ServerFieldTransactor exposes reactor state as an AP field.
+	ServerFieldTransactor = core.ServerFieldTransactor
+)
+
+// Binding is the modified (tag-carrying) SOME/IP binding hook.
+type Binding = core.Binding
+
+// TimestampBypass pairs outgoing tags with standard-API sends.
+type TimestampBypass = core.TimestampBypass
+
+// NewSWC creates a DEAR software component on a simulated platform.
+func NewSWC(host *Host, cfg RuntimeConfig) (*SWC, error) { return core.NewSWC(host, cfg) }
+
+// NewClientMethodTransactor creates a client-role method transactor.
+func NewClientMethodTransactor(env *Environment, swc *SWC, iface *ServiceInterface, instance InstanceID, method string, cfg TransactorConfig) (*ClientMethodTransactor, error) {
+	return core.NewClientMethodTransactor(env, swc, iface, instance, method, cfg)
+}
+
+// NewServerMethodTransactor creates a server-role method transactor.
+func NewServerMethodTransactor(env *Environment, swc *SWC, sk *Skeleton, method string, cfg TransactorConfig) (*ServerMethodTransactor, error) {
+	return core.NewServerMethodTransactor(env, swc, sk, method, cfg)
+}
+
+// NewClientEventTransactor creates a client-role event transactor.
+func NewClientEventTransactor(env *Environment, swc *SWC, iface *ServiceInterface, instance InstanceID, event string, cfg TransactorConfig) (*ClientEventTransactor, error) {
+	return core.NewClientEventTransactor(env, swc, iface, instance, event, cfg)
+}
+
+// NewServerEventTransactor creates a server-role event transactor.
+func NewServerEventTransactor(env *Environment, swc *SWC, sk *Skeleton, event string, cfg TransactorConfig) (*ServerEventTransactor, error) {
+	return core.NewServerEventTransactor(env, swc, sk, event, cfg)
+}
+
+// NewClientFieldTransactor creates the composite field transactor
+// (two method transactors plus the notifier event transactor).
+func NewClientFieldTransactor(env *Environment, swc *SWC, iface *ServiceInterface, instance InstanceID, field string, cfg TransactorConfig) (*ClientFieldTransactor, error) {
+	return core.NewClientFieldTransactor(env, swc, iface, instance, field, cfg)
+}
+
+// NewServerFieldTransactor creates the composite server-side field
+// transactor.
+func NewServerFieldTransactor(env *Environment, swc *SWC, sk *Skeleton, field string, cfg TransactorConfig) (*ServerFieldTransactor, error) {
+	return core.NewServerFieldTransactor(env, swc, sk, field, cfg)
+}
+
+// --- ara::com substrate ---
+
+// ServiceInterface describes a service (methods, events, fields).
+type ServiceInterface = ara.ServiceInterface
+
+// MethodSpec describes one method.
+type MethodSpec = ara.MethodSpec
+
+// EventSpec describes one event.
+type EventSpec = ara.EventSpec
+
+// FieldSpec describes one field.
+type FieldSpec = ara.FieldSpec
+
+// Runtime is the per-process ara::com runtime.
+type Runtime = ara.Runtime
+
+// RuntimeConfig configures a Runtime.
+type RuntimeConfig = ara.Config
+
+// ExecConfig configures the worker-thread executor of a runtime.
+type ExecConfig = ara.ExecConfig
+
+// Proxy is the client-side service access object.
+type Proxy = ara.Proxy
+
+// Skeleton is the server-side service access object.
+type Skeleton = ara.Skeleton
+
+// Future is the asynchronous result of a method call.
+type Future = ara.Future
+
+// Result is the outcome of a method call.
+type Result = ara.Result
+
+// HandlerCtx is passed to ara method/event handlers.
+type HandlerCtx = ara.Ctx
+
+// RemoteError is an application-level error from a server.
+type RemoteError = ara.RemoteError
+
+// NewRuntime creates an ara::com runtime on a host.
+func NewRuntime(host *Host, cfg RuntimeConfig) (*Runtime, error) {
+	return ara.NewRuntime(host, cfg)
+}
+
+// --- SOME/IP ---
+
+// ServiceID identifies a service interface on the wire.
+type ServiceID = someip.ServiceID
+
+// MethodID identifies a method or event on the wire.
+type MethodID = someip.MethodID
+
+// InstanceID distinguishes instances of a service.
+type InstanceID = someip.InstanceID
+
+// Message is a SOME/IP message (with optional DEAR tag).
+type Message = someip.Message
+
+// EventID builds the wire identifier for event number n.
+func EventID(n uint16) MethodID { return someip.EventID(n) }
+
+// --- Simulation substrate ---
+
+// Kernel is the deterministic discrete-event simulation engine.
+type Kernel = des.Kernel
+
+// Process is a simulated thread of control.
+type Process = des.Process
+
+// LocalClock models a platform's drifting, resynchronized oscillator.
+type LocalClock = des.LocalClock
+
+// ClockConfig configures a LocalClock.
+type ClockConfig = des.ClockConfig
+
+// Rand is a deterministic random stream.
+type Rand = des.Rand
+
+// Network is a simulated switched network.
+type Network = simnet.Network
+
+// NetworkConfig configures a Network.
+type NetworkConfig = simnet.Config
+
+// Host is a simulated platform attached to a network.
+type Host = simnet.Host
+
+// Addr identifies a network endpoint.
+type Addr = simnet.Addr
+
+// LatencyModel computes one-way packet latencies.
+type LatencyModel = simnet.LatencyModel
+
+// FixedLatency is a constant-latency model.
+type FixedLatency = simnet.FixedLatency
+
+// JitterLatency models base + per-byte + truncated-Gaussian latency.
+type JitterLatency = simnet.JitterLatency
+
+// NewKernel creates a simulation kernel seeded with seed.
+func NewKernel(seed uint64) *Kernel { return des.NewKernel(seed) }
+
+// NewNetwork creates a simulated network on the kernel.
+func NewNetwork(k *Kernel, cfg NetworkConfig) *Network { return simnet.NewNetwork(k, cfg) }

@@ -1,0 +1,35 @@
+// Package dear is a Go reproduction of "Achieving Determinism in Adaptive
+// AUTOSAR" (Menard, Goens, Lohstroh, Castrillon — DATE 2020): the DEAR
+// framework, which layers the deterministic reactor model of computation
+// on top of the AUTOSAR Adaptive Platform's service-oriented
+// communication stack.
+//
+// The package re-exports the user-facing API of the internal packages:
+//
+//   - the reactor runtime (environments, reactors, reactions, ports,
+//     actions, timers, deadlines) — internal/reactor;
+//   - the DEAR framework (software components, the four transactors,
+//     tagged bindings, safe-to-process configuration) — internal/core;
+//   - the ara::com substrate (service interfaces, runtimes, proxies,
+//     skeletons, futures) — internal/ara;
+//   - the deterministic simulation substrate (kernel, platforms with
+//     drifting clocks, network with latency models) — internal/des and
+//     internal/simnet.
+//
+// # A minimal deterministic program
+//
+//	env := dear.NewEnvironment(dear.Options{Fast: true})
+//	r := env.NewReactor("hello")
+//	tick := dear.NewTimer(r, "tick", 0, dear.Duration(100*dear.Millisecond))
+//	r.AddReaction("greet").Triggers(tick).Do(func(c *dear.ReactionCtx) {
+//	    fmt.Println("logical time:", c.LogicalTime())
+//	})
+//	env.Run()
+//
+// # Deterministic software components
+//
+// SWCs couple a reactor program to AUTOSAR AP service interfaces through
+// transactors; see examples/ for complete pipelines, and internal/apd for
+// the paper's brake-assistant case study in both the stock
+// (nondeterministic) and the DEAR (deterministic) variant.
+package dear

@@ -1,0 +1,118 @@
+package dear_test
+
+import (
+	"fmt"
+
+	dear "repro"
+)
+
+// A timer-driven reactor program: logical time makes the output exactly
+// reproducible.
+func ExampleNewEnvironment() {
+	env := dear.NewEnvironment(dear.Options{Fast: true, Timeout: dear.Duration(300 * dear.Millisecond)})
+	r := env.NewReactor("clock")
+	tick := dear.NewTimer(r, "tick", 0, dear.Duration(100*dear.Millisecond))
+	r.AddReaction("show").Triggers(tick).Do(func(c *dear.ReactionCtx) {
+		fmt.Println("tick at", c.Elapsed())
+	})
+	if err := env.Run(); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// tick at 0s
+	// tick at 100ms
+	// tick at 200ms
+	// tick at 300ms
+}
+
+// Ports connect reactors with logically instantaneous channels: the
+// downstream reaction observes the value at the same tag.
+func ExampleConnect() {
+	env := dear.NewEnvironment(dear.Options{Fast: true})
+	producer := env.NewReactor("producer")
+	consumer := env.NewReactor("consumer")
+	out := dear.NewOutputPort[string](producer, "out")
+	in := dear.NewInputPort[string](consumer, "in")
+	dear.Connect(out, in)
+
+	producer.AddReaction("emit").Triggers(producer.Startup()).Effects(out).Do(func(c *dear.ReactionCtx) {
+		out.Set(c, "hello")
+	})
+	consumer.AddReaction("recv").Triggers(in).Do(func(c *dear.ReactionCtx) {
+		v, _ := in.Get(c)
+		fmt.Println("received:", v)
+	})
+	if err := env.Run(); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// received: hello
+}
+
+// Logical actions schedule future events within a reactor; a zero delay
+// advances the microstep, keeping causally distinct events ordered even
+// at the same time point.
+func ExampleNewLogicalAction() {
+	env := dear.NewEnvironment(dear.Options{Fast: true})
+	r := env.NewReactor("r")
+	act := dear.NewLogicalAction[int](r, "again", 0)
+	r.AddReaction("kick").Triggers(r.Startup()).Effects(act).Do(func(c *dear.ReactionCtx) {
+		act.Schedule(c, 1, 0)
+	})
+	r.AddReaction("chain").Triggers(act).Effects(act).Do(func(c *dear.ReactionCtx) {
+		v, _ := act.Get(c)
+		fmt.Printf("value %d at microstep %d\n", v, c.Tag().Microstep)
+		if v < 3 {
+			act.Schedule(c, v+1, 0)
+		}
+	})
+	if err := env.Run(); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// value 1 at microstep 1
+	// value 2 at microstep 2
+	// value 3 at microstep 3
+}
+
+// Deadlines bind logical to physical time: a reaction invoked too late
+// runs its handler instead of its body, making timing violations
+// observable instead of silent. Run on a simulated clock, physical time
+// is deterministic, so the violation is exactly reproducible.
+func ExampleReaction_WithDeadline() {
+	k := dear.NewKernel(1)
+	k.Spawn("env", func(p *dear.Process) {
+		env := dear.NewEnvironment(dear.Options{
+			Clock:   dear.NewSimClock(p, nil),
+			Timeout: dear.Duration(60 * dear.Millisecond),
+		})
+		r := env.NewReactor("r")
+		tick := dear.NewTimer(r, "t", 0, dear.Duration(25*dear.Millisecond))
+		slow := dear.NewLogicalAction[int](r, "slow", 0)
+		n := 0
+		r.AddReaction("work").Triggers(tick).Effects(slow).Do(func(c *dear.ReactionCtx) {
+			n++
+			if n == 2 {
+				c.DoWork(dear.Duration(10 * dear.Millisecond)) // overruns once
+			}
+			slow.Schedule(c, n, 0)
+		})
+		r.AddReaction("check").Triggers(slow).
+			WithDeadline(dear.Duration(5*dear.Millisecond), func(c *dear.ReactionCtx) {
+				v, _ := slow.Get(c)
+				fmt.Printf("deadline violated for %d\n", v)
+			}).
+			Do(func(c *dear.ReactionCtx) {
+				v, _ := slow.Get(c)
+				fmt.Printf("on time: %d\n", v)
+			})
+		if err := env.Run(); err != nil {
+			fmt.Println(err)
+		}
+	})
+	k.RunAll()
+	// Output:
+	// on time: 1
+	// deadline violated for 2
+	// on time: 3
+}

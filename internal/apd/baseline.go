@@ -1,0 +1,323 @@
+package apd
+
+import (
+	"fmt"
+
+	"repro/internal/ara"
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/simnet"
+)
+
+// BaselineConfig parameterizes the stock APD brake assistant.
+type BaselineConfig struct {
+	// Frames to capture (the paper uses 100 000 per experiment instance).
+	Frames int
+	// Period of the camera and of every periodic callback (50ms in APD).
+	Period logical.Duration
+	// PreExecMean/CVExecMean are the mean execution times of the two
+	// compute stages; ExecSigma is their Gaussian jitter.
+	PreExecMean logical.Duration
+	CVExecMean  logical.Duration
+	ExecSigma   logical.Duration
+	// TimerJitterSigma models OS timer activation jitter.
+	TimerJitterSigma logical.Duration
+	// CameraJitterSigma models capture-period jitter at the provider.
+	CameraJitterSigma logical.Duration
+	// DriftSigmaPPB is the per-platform oscillator drift distribution;
+	// each platform draws its drift from N(0, DriftSigmaPPB).
+	DriftSigmaPPB float64
+	// SettleTime before the camera starts (service discovery warm-up).
+	SettleTime logical.Duration
+}
+
+// DefaultBaselineConfig mirrors the APD deployment: 50ms period and
+// compute stages that fit within the period.
+func DefaultBaselineConfig(frames int) BaselineConfig {
+	return BaselineConfig{
+		Frames:            frames,
+		Period:            50 * logical.Millisecond,
+		PreExecMean:       18 * logical.Millisecond,
+		CVExecMean:        20 * logical.Millisecond,
+		ExecSigma:         1200 * logical.Microsecond,
+		TimerJitterSigma:  300 * logical.Microsecond,
+		CameraJitterSigma: 500 * logical.Microsecond,
+		DriftSigmaPPB:     25_000, // ±25 ppm crystals
+		SettleTime:        300 * logical.Millisecond,
+	}
+}
+
+// oneSlot is the single-slot input buffer of the stock APD components:
+// the event handler stores the most recent datum, a periodic callback
+// consumes it. Data is silently overwritten when the reader is too slow
+// or the writer too fast — the root cause analyzed in the paper.
+type oneSlot[T any] struct {
+	v    T
+	full bool
+}
+
+func (s *oneSlot[T]) put(v T) {
+	s.v = v
+	s.full = true
+}
+
+func (s *oneSlot[T]) take() (T, bool) {
+	var zero T
+	if !s.full {
+		return zero, false
+	}
+	v := s.v
+	s.v = zero
+	s.full = false
+	return v, true
+}
+
+// Baseline is the assembled nondeterministic brake assistant.
+type Baseline struct {
+	Kernel   *des.Kernel
+	Net      *simnet.Network
+	Counters ErrorCounters
+	// BrakeSeq records the EBA decisions (seq, brake) in processing
+	// order, used to compare behaviour across runs.
+	BrakeSeq []BrakeCmd
+	// Latencies are the end-to-end physical delays from frame capture to
+	// brake decision for the frames that made it through.
+	Latencies []logical.Duration
+
+	cfg     BaselineConfig
+	horizon logical.Time
+}
+
+// NewBaseline builds the two-platform deployment: Video Provider on
+// platform 1, the remaining four SWCs on platform 2, connected through a
+// switch (Figure 4).
+func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
+	k := des.NewKernel(seed)
+	instRand := k.Rand("apd.instance")
+	drift1 := int64(instRand.Norm(0, cfg.DriftSigmaPPB))
+	drift2 := int64(instRand.Norm(0, cfg.DriftSigmaPPB))
+
+	n := simnet.NewNetwork(k, simnet.Config{
+		DefaultLatency: &simnet.JitterLatency{
+			Base:    100 * logical.Microsecond,
+			PerByte: 8, // ~1 Gbit/s serialization
+			Sigma:   60 * logical.Microsecond,
+			Rng:     k.Rand("apd.net"),
+		},
+		SwitchDelay: 20 * logical.Microsecond,
+	})
+	p1 := n.AddHost("platform1", k.NewLocalClock(des.ClockConfig{DriftPPB: drift1}, nil))
+	p2 := n.AddHost("platform2", k.NewLocalClock(des.ClockConfig{DriftPPB: drift2}, nil))
+
+	b := &Baseline{Kernel: k, Net: n, cfg: cfg}
+	b.horizon = logical.Time(cfg.SettleTime) +
+		logical.Time(int64(cfg.Frames+20)*int64(cfg.Period)*1001/1000)
+
+	// Random activation phases per component — the quantity the paper
+	// identifies as dominating the error rate ("the error rate is
+	// strongly influenced by the offset between the individual periodic
+	// callbacks of the SWCs, which depends on when SWCs are started").
+	phase := func() logical.Duration {
+		return logical.Duration(instRand.Range(0, int64(cfg.Period)-1))
+	}
+	phasePre, phaseCV, phaseEBA := phase(), phase(), phase()
+
+	// --- Video Adapter (platform 2): receives raw camera frames and
+	// publishes them as AP events. Sporadic, no periodic callback.
+	vaRT, err := ara.NewRuntime(p2, ara.Config{Name: "video-adapter"})
+	if err != nil {
+		return nil, err
+	}
+	vaSk, err := vaRT.NewSkeleton(VideoFeedIface, PipelineInstance)
+	if err != nil {
+		return nil, err
+	}
+	vaIn := p2.MustBind(VideoPort)
+	vaIn.OnReceive(func(dg simnet.Datagram) {
+		if err := vaSk.Notify("frame", dg.Payload); err != nil {
+			panic(err)
+		}
+	})
+	k.At(0, func() { vaSk.Offer() })
+
+	// --- Preprocessing (platform 2).
+	preRT, err := ara.NewRuntime(p2, ara.Config{Name: "preprocessing"})
+	if err != nil {
+		return nil, err
+	}
+	preSk, err := preRT.NewSkeleton(PreOutIface, PipelineInstance)
+	if err != nil {
+		return nil, err
+	}
+	k.At(0, func() { preSk.Offer() })
+	var preBuf oneSlot[[]byte]
+	preRT.FindService(VideoFeedIface, PipelineInstance, func(px *ara.Proxy) {
+		err := px.Subscribe("frame", func(c *ara.Ctx, payload []byte) {
+			preBuf.put(payload)
+		}, nil)
+		if err != nil {
+			panic(err)
+		}
+	})
+	preRand := k.Rand("apd.pre")
+	var preTracker seqTracker
+	preRT.Every(cfg.SettleTime+phasePre, cfg.Period, func(c *ara.Ctx) {
+		c.Exec(absJitter(preRand, cfg.TimerJitterSigma))
+		payload, ok := preBuf.take()
+		if !ok {
+			return // silently wait for the next trigger (stock behaviour)
+		}
+		frame, err := UnmarshalFrame(payload)
+		if err != nil {
+			panic(err)
+		}
+		b.Counters.DroppedPre += preTracker.observe(frame.Seq)
+		c.Exec(gaussExec(preRand, cfg.PreExecMean, cfg.ExecSigma))
+		lane := Preprocess(frame)
+		if err := preSk.Notify("lane", MarshalLane(lane)); err != nil {
+			panic(err)
+		}
+		if err := preSk.Notify("frame", payload); err != nil {
+			panic(err)
+		}
+	})
+
+	// --- Computer Vision (platform 2): two one-slot inputs.
+	cvRT, err := ara.NewRuntime(p2, ara.Config{Name: "computer-vision"})
+	if err != nil {
+		return nil, err
+	}
+	cvSk, err := cvRT.NewSkeleton(CVOutIface, PipelineInstance)
+	if err != nil {
+		return nil, err
+	}
+	k.At(0, func() { cvSk.Offer() })
+	var cvFrameBuf, cvLaneBuf oneSlot[[]byte]
+	cvRT.FindService(PreOutIface, PipelineInstance, func(px *ara.Proxy) {
+		if err := px.Subscribe("frame", func(c *ara.Ctx, payload []byte) {
+			cvFrameBuf.put(payload)
+		}, nil); err != nil {
+			panic(err)
+		}
+		if err := px.Subscribe("lane", func(c *ara.Ctx, payload []byte) {
+			cvLaneBuf.put(payload)
+		}, nil); err != nil {
+			panic(err)
+		}
+	})
+	cvRand := k.Rand("apd.cv")
+	var cvTracker seqTracker
+	cvRT.Every(cfg.SettleTime+phaseCV, cfg.Period, func(c *ara.Ctx) {
+		c.Exec(absJitter(cvRand, cfg.TimerJitterSigma))
+		fp, okF := cvFrameBuf.take()
+		lp, okL := cvLaneBuf.take()
+		if !okF || !okL {
+			return
+		}
+		frame, err := UnmarshalFrame(fp)
+		if err != nil {
+			panic(err)
+		}
+		lane, err := UnmarshalLane(lp)
+		if err != nil {
+			panic(err)
+		}
+		b.Counters.DroppedCV += cvTracker.observe(frame.Seq)
+		if frame.Seq != lane.Seq {
+			b.Counters.MismatchCV++
+		}
+		c.Exec(gaussExec(cvRand, cfg.CVExecMean, cfg.ExecSigma))
+		vehicles := DetectVehicles(frame, lane)
+		if err := cvSk.Notify("vehicles", MarshalVehicles(vehicles)); err != nil {
+			panic(err)
+		}
+	})
+
+	// --- EBA (platform 2).
+	ebaRT, err := ara.NewRuntime(p2, ara.Config{Name: "eba"})
+	if err != nil {
+		return nil, err
+	}
+	var ebaBuf oneSlot[[]byte]
+	ebaRT.FindService(CVOutIface, PipelineInstance, func(px *ara.Proxy) {
+		if err := px.Subscribe("vehicles", func(c *ara.Ctx, payload []byte) {
+			ebaBuf.put(payload)
+		}, nil); err != nil {
+			panic(err)
+		}
+	})
+	ebaRand := k.Rand("apd.eba")
+	var ebaTracker seqTracker
+	var ebaState EBAState
+	ebaRT.Every(cfg.SettleTime+phaseEBA, cfg.Period, func(c *ara.Ctx) {
+		c.Exec(absJitter(ebaRand, cfg.TimerJitterSigma))
+		payload, ok := ebaBuf.take()
+		if !ok {
+			return
+		}
+		vehicles, err := UnmarshalVehicles(payload)
+		if err != nil {
+			panic(err)
+		}
+		b.Counters.DroppedEBA += ebaTracker.observe(vehicles.Seq)
+		cmd := ebaState.Decide(vehicles)
+		b.Counters.FramesProcessed++
+		b.BrakeSeq = append(b.BrakeSeq, *cmd)
+		b.Latencies = append(b.Latencies, logical.Duration(c.Now()-vehicles.Capture))
+	})
+
+	// --- Video Provider (platform 1): the camera, sending one frame
+	// roughly every 50ms over a proprietary (raw datagram) protocol.
+	camOut := p1.MustBind(0)
+	camRand := k.Rand("apd.camera")
+	scene := &Scene{}
+	clock1 := p1.Clock()
+	k.SpawnAt(logical.Time(cfg.SettleTime), "video-provider", func(p *des.Process) {
+		start := clock1.Now()
+		for i := 0; i < cfg.Frames; i++ {
+			next := start.Add(logical.Duration(i)*cfg.Period +
+				logical.Duration(camRand.Norm(0, float64(cfg.CameraJitterSigma))))
+			if g := clock1.GlobalAt(next); g > p.Now() {
+				p.WaitUntil(g)
+			}
+			frame := scene.Generate(p.Now())
+			b.Counters.FramesSent++
+			camOut.Send(simnet.Addr{Host: p2.ID(), Port: VideoPort}, MarshalFrame(frame))
+		}
+	})
+
+	return b, nil
+}
+
+func gaussExec(r *des.Rand, mean, sigma logical.Duration) logical.Duration {
+	d := logical.Duration(r.Norm(float64(mean), float64(sigma)))
+	if d < mean/2 {
+		d = mean / 2
+	}
+	return d
+}
+
+func absJitter(r *des.Rand, sigma logical.Duration) logical.Duration {
+	if sigma <= 0 {
+		return 0
+	}
+	d := logical.Duration(r.Norm(0, float64(sigma)))
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Run executes the experiment to completion and returns the counters.
+// The kernel is shut down afterwards, unwinding all simulated processes;
+// the Baseline's recorded results remain readable.
+func (b *Baseline) Run() *ErrorCounters {
+	b.Kernel.Run(b.horizon)
+	b.Kernel.Shutdown()
+	return &b.Counters
+}
+
+// Describe summarizes the configuration.
+func (b *Baseline) Describe() string {
+	return fmt.Sprintf("baseline APD brake assistant: %d frames @ %s", b.cfg.Frames, b.cfg.Period)
+}

@@ -1,0 +1,76 @@
+package apd
+
+import "fmt"
+
+// ErrorCounters instruments the pipeline with the four error classes of
+// Figure 5 in the paper.
+type ErrorCounters struct {
+	// FramesSent counts frames the video provider emitted.
+	FramesSent uint64
+	// FramesProcessed counts frames whose pipeline output reached EBA.
+	FramesProcessed uint64
+
+	// DroppedPre counts frames lost before Preprocessing read them
+	// ("Dropped frames (Preprocessing)").
+	DroppedPre uint64
+	// DroppedCV counts frames lost before Computer Vision read them
+	// ("Dropped frames (Computer Vision)").
+	DroppedCV uint64
+	// MismatchCV counts activations where Computer Vision's two inputs
+	// carried different sequence numbers ("Input mismatches (CV)").
+	MismatchCV uint64
+	// DroppedEBA counts vehicle lists lost before EBA read them
+	// ("Dropped vehicles (EBA)").
+	DroppedEBA uint64
+
+	// DeadlineViolations counts reactor deadline misses (deterministic
+	// implementation only; zero in the baseline, which has no deadlines).
+	DeadlineViolations uint64
+	// SafeToProcessViolations counts violated latency/clock bounds
+	// (deterministic implementation only).
+	SafeToProcessViolations uint64
+}
+
+// TotalErrors sums all error classes.
+func (e *ErrorCounters) TotalErrors() uint64 {
+	return e.DroppedPre + e.DroppedCV + e.MismatchCV + e.DroppedEBA +
+		e.DeadlineViolations + e.SafeToProcessViolations
+}
+
+// Prevalence returns the total error count as a percentage of frames
+// sent, the metric plotted in Figure 5.
+func (e *ErrorCounters) Prevalence() float64 {
+	if e.FramesSent == 0 {
+		return 0
+	}
+	return 100 * float64(e.TotalErrors()) / float64(e.FramesSent)
+}
+
+func (e *ErrorCounters) String() string {
+	return fmt.Sprintf("sent=%d processed=%d droppedPre=%d droppedCV=%d mismatchCV=%d droppedEBA=%d deadline=%d stp=%d (%.3f%%)",
+		e.FramesSent, e.FramesProcessed, e.DroppedPre, e.DroppedCV, e.MismatchCV, e.DroppedEBA,
+		e.DeadlineViolations, e.SafeToProcessViolations, e.Prevalence())
+}
+
+// seqTracker detects gaps in a sequence stream (the paper's
+// instrumentation for dropped inputs).
+type seqTracker struct {
+	have bool
+	last uint32
+}
+
+// observe records a sequence number and returns how many numbers were
+// skipped since the previous observation.
+func (t *seqTracker) observe(seq uint32) uint64 {
+	if !t.have {
+		t.have = true
+		t.last = seq
+		return 0
+	}
+	var dropped uint64
+	if seq > t.last+1 {
+		dropped = uint64(seq - t.last - 1)
+	}
+	t.last = seq
+	return dropped
+}

@@ -1,0 +1,89 @@
+package apd
+
+import (
+	"testing"
+)
+
+// TestDeterministicMatchesPureFunctionPipeline is the strongest
+// correctness check for the DEAR implementation: with zero drops and
+// in-order processing, the distributed pipeline must compute exactly
+// what the plain sequential composition of the stage functions computes
+// on the same frame sequence. Communication, tagging, transactors and
+// scheduling must be semantically invisible.
+func TestDeterministicMatchesPureFunctionPipeline(t *testing.T) {
+	const frames = 300
+
+	// Reference: the pure function pipeline.
+	scene := &Scene{}
+	var ebaRef EBAState
+	var want []BrakeCmd
+	for i := 0; i < frames; i++ {
+		f := scene.Generate(0)
+		lane := Preprocess(f)
+		v := DetectVehicles(f, lane)
+		want = append(want, *ebaRef.Decide(v))
+	}
+
+	// The distributed DEAR pipeline on the same frame content.
+	d, err := NewDeterministic(11, DefaultDeterministicConfig(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Run()
+	if c.TotalErrors() != 0 {
+		t.Fatalf("errors: %v", c)
+	}
+	if len(d.BrakeSeq) != frames {
+		t.Fatalf("decisions = %d, want %d", len(d.BrakeSeq), frames)
+	}
+	for i := range want {
+		got := d.BrakeSeq[i]
+		if got.Seq != want[i].Seq || got.Brake != want[i].Brake {
+			t.Fatalf("decision %d: got {seq %d brake %v}, want {seq %d brake %v}",
+				i, got.Seq, got.Brake, want[i].Seq, want[i].Brake)
+		}
+		// Force is a float computed from identical inputs — must be
+		// bit-identical, not merely close.
+		if got.Force != want[i].Force {
+			t.Fatalf("decision %d force: %v vs %v", i, got.Force, want[i].Force)
+		}
+	}
+}
+
+// TestBaselineDivergesFromPureFunctionPipeline confirms the contrast:
+// under the stock design, drops and misalignment make the distributed
+// result differ from the pure composition for at least some seeds.
+func TestBaselineDivergesFromPureFunctionPipeline(t *testing.T) {
+	const frames = 400
+	scene := &Scene{}
+	var ebaRef EBAState
+	var want []BrakeCmd
+	for i := 0; i < frames; i++ {
+		f := scene.Generate(0)
+		lane := Preprocess(f)
+		v := DetectVehicles(f, lane)
+		want = append(want, *ebaRef.Decide(v))
+	}
+
+	diverged := false
+	for seed := uint64(0); seed < 6 && !diverged; seed++ {
+		b, err := NewBaseline(seed, DefaultBaselineConfig(frames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Run()
+		if len(b.BrakeSeq) != frames {
+			diverged = true
+			break
+		}
+		for i := range b.BrakeSeq {
+			if b.BrakeSeq[i].Seq != want[i].Seq || b.BrakeSeq[i].Brake != want[i].Brake {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Error("baseline matched the pure pipeline for all seeds; expected divergence from drops")
+	}
+}

@@ -1,0 +1,48 @@
+package apd
+
+import (
+	"repro/internal/ara"
+	"repro/internal/someip"
+)
+
+// Service interfaces of the brake-assistant pipeline (Figure 4). Event
+// notifications carry the data from one SWC to the next.
+
+// VideoFeedIface is offered by the Video Adapter: the camera frames.
+var VideoFeedIface = &ara.ServiceInterface{
+	Name:  "VideoFeed",
+	ID:    0x3001,
+	Major: 1,
+	Events: []ara.EventSpec{
+		{ID: someip.EventID(1), Name: "frame", Eventgroup: 1},
+	},
+}
+
+// PreOutIface is offered by Preprocessing: the lane information plus the
+// forwarded original frame (Computer Vision needs both).
+var PreOutIface = &ara.ServiceInterface{
+	Name:  "PreOut",
+	ID:    0x3002,
+	Major: 1,
+	Events: []ara.EventSpec{
+		{ID: someip.EventID(1), Name: "frame", Eventgroup: 1},
+		{ID: someip.EventID(2), Name: "lane", Eventgroup: 1},
+	},
+}
+
+// CVOutIface is offered by Computer Vision: the detected vehicles.
+var CVOutIface = &ara.ServiceInterface{
+	Name:  "CVOut",
+	ID:    0x3003,
+	Major: 1,
+	Events: []ara.EventSpec{
+		{ID: someip.EventID(1), Name: "vehicles", Eventgroup: 1},
+	},
+}
+
+// Instance used by all pipeline services.
+const PipelineInstance someip.InstanceID = 1
+
+// VideoPort is the raw UDP port of the Video Adapter's proprietary
+// camera protocol.
+const VideoPort uint16 = 5004

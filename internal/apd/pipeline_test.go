@@ -1,0 +1,217 @@
+package apd
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+)
+
+// testFrames keeps unit-test runtimes small; the full 100 000-frame
+// experiments run from cmd/ and the benchmarks.
+const testFrames = 400
+
+func TestBaselineRunsToCompletion(t *testing.T) {
+	cfg := DefaultBaselineConfig(testFrames)
+	b, err := NewBaseline(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.Run()
+	if c.FramesSent != testFrames {
+		t.Errorf("sent = %d, want %d", c.FramesSent, testFrames)
+	}
+	if c.FramesProcessed == 0 {
+		t.Error("nothing processed")
+	}
+	// The pipeline may drop, but the bulk must get through.
+	if c.FramesProcessed < uint64(testFrames)/2 {
+		t.Errorf("processed only %d of %d", c.FramesProcessed, testFrames)
+	}
+}
+
+func TestBaselineReproducibleWithSameSeed(t *testing.T) {
+	run := func() ErrorCounters {
+		b, err := NewBaseline(33, DefaultBaselineConfig(testFrames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *b.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed differs:\n%v\n%v", &a, &b)
+	}
+}
+
+func TestBaselineErrorRateVariesAcrossSeeds(t *testing.T) {
+	// The hallmark of Figure 5: error prevalence varies strongly between
+	// experiment instances.
+	var rates []float64
+	distinct := map[uint64]bool{}
+	for seed := uint64(0); seed < 8; seed++ {
+		b, err := NewBaseline(seed, DefaultBaselineConfig(testFrames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := b.Run()
+		rates = append(rates, c.Prevalence())
+		distinct[c.TotalErrors()] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("error counts suspiciously uniform across seeds: %v", rates)
+	}
+}
+
+func TestBaselineBrakeSequenceDiffersAcrossSeeds(t *testing.T) {
+	// Nondeterminism is visible in behaviour, not only in counters: the
+	// EBA decision sequence depends on which frames were dropped.
+	sig := func(seed uint64) (uint64, int) {
+		b, err := NewBaseline(seed, DefaultBaselineConfig(testFrames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Run()
+		var h uint64 = 14695981039346656037
+		for _, cmd := range b.BrakeSeq {
+			h ^= uint64(cmd.Seq)
+			if cmd.Brake {
+				h ^= 0xff
+			}
+			h *= 1099511628211
+		}
+		return h, len(b.BrakeSeq)
+	}
+	h1, n1 := sig(1)
+	h2, n2 := sig(2)
+	h3, n3 := sig(3)
+	if h1 == h2 && h2 == h3 && n1 == n2 && n2 == n3 {
+		t.Error("baseline produced identical behaviour across seeds; expected divergence")
+	}
+}
+
+func TestDeterministicZeroErrors(t *testing.T) {
+	d, err := NewDeterministic(1, DefaultDeterministicConfig(testFrames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Run()
+	if c.FramesSent != testFrames {
+		t.Errorf("sent = %d", c.FramesSent)
+	}
+	if c.FramesProcessed != uint64(testFrames) {
+		t.Errorf("processed = %d, want every frame (%d)", c.FramesProcessed, testFrames)
+	}
+	if c.TotalErrors() != 0 {
+		t.Errorf("errors = %d (%v), want 0", c.TotalErrors(), c)
+	}
+}
+
+func TestDeterministicBrakeSequenceIdenticalAcrossSeeds(t *testing.T) {
+	// The decisive property: physical jitter (different seeds) must not
+	// change the processing outcome — every frame processed exactly once
+	// in order, so the brake sequence is a pure function of the frames.
+	run := func(seed uint64) []BrakeCmd {
+		d, err := NewDeterministic(seed, DefaultDeterministicConfig(testFrames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Run()
+		return d.BrakeSeq
+	}
+	a := run(1)
+	b := run(99)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across physical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeterministicLatencyBounded(t *testing.T) {
+	cfg := DefaultDeterministicConfig(testFrames)
+	d, err := NewDeterministic(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if len(d.Latencies) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	// End-to-end bound: VA(5) + L(5) + Pre(25) + L(5) + CV(25) + L(5) =
+	// 70ms of logical offset, plus the EBA deadline of physical slack.
+	bound := logical.Duration(80 * logical.Millisecond)
+	var worst logical.Duration
+	for _, l := range d.Latencies {
+		if l > worst {
+			worst = l
+		}
+	}
+	if worst > bound {
+		t.Errorf("worst latency %v exceeds bound %v", worst, bound)
+	}
+	// And it cannot be faster than the pipeline's logical depth.
+	if worst < logical.Duration(50*logical.Millisecond) {
+		t.Errorf("worst latency %v implausibly low", worst)
+	}
+}
+
+func TestDeterministicReproducibleWithSameSeed(t *testing.T) {
+	run := func() ([]logical.Tag, ErrorCounters) {
+		d, err := NewDeterministic(77, DefaultDeterministicConfig(testFrames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := d.Run()
+		return d.TagTrace, *c
+	}
+	tagsA, cA := run()
+	tagsB, cB := run()
+	if cA != cB {
+		t.Errorf("counters differ: %v vs %v", &cA, &cB)
+	}
+	if len(tagsA) != len(tagsB) {
+		t.Fatalf("tag trace lengths differ")
+	}
+	for i := range tagsA {
+		if tagsA[i] != tagsB[i] {
+			t.Fatalf("tag %d differs: %v vs %v", i, tagsA[i], tagsB[i])
+		}
+	}
+}
+
+func TestDeterministicTightDeadlinesViolateObservably(t *testing.T) {
+	cfg := DefaultDeterministicConfig(testFrames)
+	cfg.DeadlineScale = 0.3 // Pre/CV deadlines ~7.5ms << ~20ms of work
+	d, err := NewDeterministic(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Run()
+	if c.DeadlineViolations == 0 {
+		t.Error("expected deadline violations at scale 0.3")
+	}
+	// Errors must be observable, never silent: processed + violations
+	// accounts for the frames.
+	if c.FramesProcessed == uint64(testFrames) {
+		t.Error("all frames processed despite violations — violations had no effect?")
+	}
+}
+
+func TestDeterministicScaleOneMatchesDefault(t *testing.T) {
+	cfg := DefaultDeterministicConfig(100)
+	cfg.DeadlineScale = 1.0
+	d, err := NewDeterministic(5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Run()
+	if c.TotalErrors() != 0 {
+		t.Errorf("errors at scale 1.0: %v", c)
+	}
+}

@@ -1,0 +1,146 @@
+package ara
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+)
+
+// DeterministicClient implements the AUTOSAR AP "deterministic client"
+// of the Execution Management specification, the standard's own
+// provision for deterministic execution that the paper analyzes in
+// Section II-B: a task-based, cyclic programming model in which
+//
+//   - activation happens in cycles with a defined activation time,
+//   - random numbers are drawn from a per-cycle deterministic source,
+//   - data-parallel work runs through a worker pool whose RESULTS are
+//     independent of worker count and scheduling,
+//
+// so that redundantly executed clients produce identical outputs.
+//
+// Crucially — and this is the paper's point — its scope is a single
+// software component: "applications that consist of multiple
+// communicating deterministic clients can still exhibit nondeterminism"
+// through undefined processing order and message transport (sources #2
+// and #3). The test suite demonstrates exactly that.
+type DeterministicClient struct {
+	rt     *Runtime
+	name   string
+	seed   uint64
+	cycle  uint64
+	period logical.Duration
+
+	activation func(*DetCtx)
+	stopped    bool
+}
+
+// DetCtx is the per-cycle context handed to the activation function.
+type DetCtx struct {
+	*Ctx
+	client *DeterministicClient
+	// Cycle is the activation counter, starting at 0.
+	Cycle uint64
+	// ActivationTime is the local time of this activation.
+	ActivationTime logical.Time
+	rand           *des.Rand
+}
+
+// Random returns the cycle's deterministic random source: the same
+// (seed, cycle) pair always yields the same stream, so redundant clients
+// draw identical numbers.
+func (c *DetCtx) Random() *des.Rand { return c.rand }
+
+// NewDeterministicClient creates a deterministic client on the runtime.
+// The activation function runs every period (on the platform's local
+// clock) once Start is called.
+func (rt *Runtime) NewDeterministicClient(name string, seed uint64, period logical.Duration) *DeterministicClient {
+	return &DeterministicClient{rt: rt, name: name, seed: seed, period: period}
+}
+
+// OnActivate installs the cyclic activation function.
+func (dc *DeterministicClient) OnActivate(fn func(*DetCtx)) { dc.activation = fn }
+
+// Cycle returns the number of completed activations.
+func (dc *DeterministicClient) Cycle() uint64 { return dc.cycle }
+
+// Stop ceases activations after the current cycle.
+func (dc *DeterministicClient) Stop() { dc.stopped = true }
+
+// Start begins cyclic activation with the given phase offset.
+func (dc *DeterministicClient) Start(offset logical.Duration) {
+	if dc.activation == nil {
+		panic("ara: deterministic client without activation function")
+	}
+	dc.rt.Every(offset, dc.period, func(c *Ctx) {
+		if dc.stopped {
+			return
+		}
+		ctx := &DetCtx{
+			Ctx:            c,
+			client:         dc,
+			Cycle:          dc.cycle,
+			ActivationTime: dc.rt.Clock().Now(),
+			rand:           des.NewRand(dc.seed ^ (dc.cycle * 0x9E3779B97F4A7C15)),
+		}
+		dc.activation(ctx)
+		dc.cycle++
+	})
+}
+
+// RunWorkerPool executes fn over n items on a pool of simulated worker
+// threads and guarantees deterministic results: item i's output lands in
+// slot i regardless of which worker processed it or in which order the
+// workers finished. Execution time still depends on the pool, but data
+// does not — the deterministic worker pool API of the AP specification.
+//
+// fn receives (item index, per-item deterministic random stream); exec
+// models the computation time per item.
+func RunWorkerPool[T any](c *DetCtx, n, workers int, exec logical.Duration, fn func(i int, r *des.Rand) T) []T {
+	if workers <= 0 {
+		workers = 1
+	}
+	results := make([]T, n)
+	if n == 0 {
+		return results
+	}
+	k := c.client.rt.k
+	remaining := n
+	done := make(chan struct{}, 1)
+	nextItem := 0
+	parent := c.Process()
+	for w := 0; w < workers; w++ {
+		k.Spawn(fmt.Sprintf("%s.pool.%d", c.client.name, w), func(p *des.Process) {
+			for {
+				if nextItem >= n {
+					return
+				}
+				i := nextItem
+				nextItem++
+				if exec > 0 {
+					p.Sleep(exec)
+				}
+				// Per-item stream derived from (cycle seed, item): the
+				// result is a pure function of (seed, cycle, i).
+				r := des.NewRand(c.client.seed ^ (c.Cycle * 0x9E3779B97F4A7C15) ^ (uint64(i)+1)*0xBF58476D1CE4E5B9)
+				results[i] = fn(i, r)
+				remaining--
+				if remaining == 0 {
+					select {
+					case done <- struct{}{}:
+					default:
+					}
+					parent.Unpark()
+				}
+			}
+		})
+	}
+	for remaining > 0 {
+		c.Process().Park()
+	}
+	select {
+	case <-done:
+	default:
+	}
+	return results
+}

@@ -1,0 +1,210 @@
+package ara
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/someip"
+)
+
+// Ctx is handed to method/event handlers. It exposes simulated time and
+// lets handlers consume execution time, which is how worst-case execution
+// times are modelled.
+type Ctx struct {
+	p   *des.Process
+	rt  *Runtime
+	msg *someip.Message
+}
+
+// Message returns the SOME/IP message that triggered this handler, or nil
+// for tasks not associated with a message. The DEAR transactors use it to
+// retrieve the tag that the modified binding extracted from the wire.
+func (c *Ctx) Message() *someip.Message { return c.msg }
+
+// Now returns the current simulated (global) time.
+func (c *Ctx) Now() logical.Time { return c.p.Now() }
+
+// LocalNow returns the current local platform time.
+func (c *Ctx) LocalNow() logical.Time { return c.rt.Clock().Now() }
+
+// Exec consumes d of simulated execution time (the handler's computation).
+func (c *Ctx) Exec(d logical.Duration) { c.p.Sleep(d) }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Process returns the simulated worker thread running the handler.
+func (c *Ctx) Process() *des.Process { return c.p }
+
+// task is one unit of work for the executor.
+type task struct {
+	fn func(*Ctx)
+}
+
+// ExecConfig configures the executor of a runtime.
+type ExecConfig struct {
+	// Workers is the number of simulated worker threads (default 4).
+	Workers int
+	// DispatchJitter draws the latency between a task becoming runnable
+	// and a worker thread actually starting it — the OS scheduling delay.
+	// Default: exponential with mean 50µs. This is nondeterminism
+	// source #1/#2 of the paper: processing order follows dispatch order,
+	// not arrival order.
+	DispatchJitter func(*des.Rand) logical.Duration
+	// Serialized enforces mutual exclusion between handler executions
+	// (the paper's server "enforces mutual exclusion between the
+	// execution of method invocations" while leaving their order free).
+	Serialized bool
+}
+
+func defaultJitter(r *des.Rand) logical.Duration {
+	return logical.Duration(r.Exp(float64(50 * logical.Microsecond)))
+}
+
+// Executor dispatches tasks onto a pool of simulated worker threads.
+type Executor struct {
+	k        *des.Kernel
+	rng      *des.Rand
+	cfg      ExecConfig
+	queue    *des.Mailbox[task]
+	mutex    *Mutex
+	started  bool
+	inFlight int
+	executed uint64
+}
+
+// NewExecutor creates an executor. Workers spawn on first Submit.
+func NewExecutor(k *des.Kernel, rng *des.Rand, cfg ExecConfig) *Executor {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.DispatchJitter == nil {
+		cfg.DispatchJitter = defaultJitter
+	}
+	return &Executor{
+		k:     k,
+		rng:   rng,
+		cfg:   cfg,
+		queue: des.NewMailbox[task](k, "executor"),
+		mutex: NewMutex(),
+	}
+}
+
+// Executed reports the number of completed tasks.
+func (e *Executor) Executed() uint64 { return e.executed }
+
+// InFlight reports tasks submitted but not yet completed.
+func (e *Executor) InFlight() int { return e.inFlight }
+
+func (e *Executor) start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	// A dispatcher hands each queued task to a fresh logical thread
+	// context: per the AP communication-management default, "the runtime
+	// maps each invocation to a different thread". Concurrency is capped
+	// by Workers via a counting semaphore.
+	sem := NewSemaphore(e.cfg.Workers)
+	e.k.Spawn("executor.dispatch", func(p *des.Process) {
+		seq := 0
+		for {
+			t := e.queue.Recv(p)
+			sem.Acquire(p)
+			seq++
+			jitter := e.cfg.DispatchJitter(e.rng)
+			e.k.SpawnAt(p.Now().Add(jitter), fmt.Sprintf("worker.%d", seq), func(wp *des.Process) {
+				defer sem.Release()
+				if e.cfg.Serialized {
+					e.mutex.Lock(wp)
+					defer e.mutex.Unlock()
+				}
+				t.fn(&Ctx{p: wp})
+				e.executed++
+				e.inFlight--
+			})
+		}
+	})
+}
+
+// Submit schedules fn to run on a worker thread after the dispatch jitter.
+// The ctx passed to fn carries a nil runtime unless SubmitRT is used.
+func (e *Executor) Submit(fn func(*Ctx)) {
+	e.submit(nil, fn)
+}
+
+func (e *Executor) submit(rt *Runtime, fn func(*Ctx)) {
+	e.start()
+	e.inFlight++
+	e.queue.Put(task{fn: func(c *Ctx) {
+		c.rt = rt
+		fn(c)
+	}})
+}
+
+// Mutex is a mutual-exclusion lock for simulated processes with FIFO
+// hand-off.
+type Mutex struct {
+	locked  bool
+	waiters []*des.Process
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex() *Mutex { return &Mutex{} }
+
+// Lock blocks the process until the mutex is acquired.
+func (m *Mutex) Lock(p *des.Process) {
+	for m.locked {
+		m.waiters = append(m.waiters, p)
+		p.Park()
+	}
+	m.locked = true
+}
+
+// Unlock releases the mutex and wakes the first waiter.
+func (m *Mutex) Unlock() {
+	if !m.locked {
+		panic("ara: Unlock of unlocked Mutex")
+	}
+	m.locked = false
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w.Unpark()
+	}
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.locked }
+
+// Semaphore is a counting semaphore for simulated processes.
+type Semaphore struct {
+	avail   int
+	waiters []*des.Process
+}
+
+// NewSemaphore returns a semaphore with n permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Acquire takes a permit, blocking while none is available.
+func (s *Semaphore) Acquire(p *des.Process) {
+	for s.avail == 0 {
+		s.waiters = append(s.waiters, p)
+		p.Park()
+	}
+	s.avail--
+}
+
+// Release returns a permit and wakes the first waiter.
+func (s *Semaphore) Release() {
+	s.avail++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.Unpark()
+	}
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }

@@ -1,0 +1,104 @@
+package ara
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// FieldServer is the server side of a field: a state variable exposed via
+// an optional get method, an optional set method, and an optional
+// change-notifier event (the AP field triple).
+type FieldServer struct {
+	sk    *Skeleton
+	spec  FieldSpec
+	value []byte
+	// validator, when set, screens incoming Set requests.
+	validator func(proposed []byte) error
+}
+
+func newFieldServer(sk *Skeleton, spec FieldSpec) *FieldServer {
+	f := &FieldServer{sk: sk, spec: spec}
+	if spec.Get != 0 {
+		sk.HandleID(spec.Get, func(c *Ctx, _ []byte) ([]byte, error) {
+			return f.value, nil
+		})
+	}
+	if spec.Set != 0 {
+		sk.HandleID(spec.Set, func(c *Ctx, args []byte) ([]byte, error) {
+			if f.validator != nil {
+				if err := f.validator(args); err != nil {
+					return nil, err
+				}
+			}
+			f.set(args)
+			return f.value, nil
+		})
+	}
+	return f
+}
+
+// Spec returns the field description.
+func (f *FieldServer) Spec() FieldSpec { return f.spec }
+
+// Value returns the current value.
+func (f *FieldServer) Value() []byte { return f.value }
+
+// SetValidator installs a screening function for remote Set requests.
+func (f *FieldServer) SetValidator(fn func(proposed []byte) error) { f.validator = fn }
+
+// Update sets the value locally and notifies subscribers.
+func (f *FieldServer) Update(value []byte) { f.set(value) }
+
+func (f *FieldServer) set(value []byte) {
+	buf := make([]byte, len(value))
+	copy(buf, value)
+	f.value = buf
+	if f.spec.Notifier != 0 {
+		f.sk.NotifyID(f.spec.Notifier, f.spec.Eventgroup, f.value)
+	}
+}
+
+// FieldClient is the client side of a field.
+type FieldClient struct {
+	px   *Proxy
+	spec FieldSpec
+}
+
+// Spec returns the field description.
+func (f *FieldClient) Spec() FieldSpec { return f.spec }
+
+// Get fetches the field value (non-blocking, future result).
+func (f *FieldClient) Get() *Future {
+	if f.spec.Get == 0 {
+		return ResolvedFuture(f.px.rt.k, Result{Err: fmt.Errorf("ara: field %s has no getter", f.spec.Name)})
+	}
+	return f.px.CallID(f.spec.Get, nil, false)
+}
+
+// Set writes the field value (non-blocking, future resolves with the
+// value accepted by the server).
+func (f *FieldClient) Set(value []byte) *Future {
+	if f.spec.Set == 0 {
+		return ResolvedFuture(f.px.rt.k, Result{Err: fmt.Errorf("ara: field %s has no setter", f.spec.Name)})
+	}
+	return f.px.CallID(f.spec.Set, value, false)
+}
+
+// OnChange subscribes to the field's change notifier.
+func (f *FieldClient) OnChange(handler func(*Ctx, []byte), ack func(ok bool)) error {
+	if f.spec.Notifier == 0 {
+		return fmt.Errorf("ara: field %s has no notifier", f.spec.Name)
+	}
+	return f.px.SubscribeID(f.spec.Notifier, f.spec.Eventgroup, handler, ack)
+}
+
+// GetSync is a convenience blocking Get for process contexts.
+func (f *FieldClient) GetSync(p *des.Process) ([]byte, error) {
+	return f.Get().Get(p)
+}
+
+// SetSync is a convenience blocking Set for process contexts.
+func (f *FieldClient) SetSync(p *des.Process, value []byte) ([]byte, error) {
+	return f.Set(value).Get(p)
+}

@@ -1,0 +1,138 @@
+package ara
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/someip"
+)
+
+// Proxy is the client-side access object for a remote service instance,
+// generated in real ara::com from the service description. Method calls
+// are non-blocking and return futures; events are consumed through
+// subscriptions.
+type Proxy struct {
+	rt     *Runtime
+	iface  *ServiceInterface
+	key    someip.ServiceKey
+	remote someip.RemoteService
+}
+
+// FindService starts service discovery and invokes cb (as a kernel event)
+// with a ready proxy once the instance is found.
+func (rt *Runtime) FindService(si *ServiceInterface, instance someip.InstanceID, cb func(*Proxy)) {
+	key := someip.ServiceKey{Service: si.ID, Instance: instance}
+	rt.sd.Find(key, func(svc someip.RemoteService) {
+		cb(&Proxy{rt: rt, iface: si, key: key, remote: svc})
+	})
+}
+
+// FindServiceSync blocks the calling process until the service is found
+// or the timeout expires.
+func (rt *Runtime) FindServiceSync(p *des.Process, si *ServiceInterface, instance someip.InstanceID, timeout logical.Duration) (*Proxy, error) {
+	var proxy *Proxy
+	rt.FindService(si, instance, func(px *Proxy) {
+		proxy = px
+		p.Unpark()
+	})
+	deadline := p.Now().Add(timeout)
+	for proxy == nil {
+		if p.Now() >= deadline {
+			return nil, fmt.Errorf("%w: %s instance %d", ErrServiceNotAvailable, si.Name, instance)
+		}
+		ev := rt.k.At(deadline, func() { p.Unpark() })
+		p.Park()
+		ev.Cancel()
+	}
+	return proxy, nil
+}
+
+// Interface returns the service interface description.
+func (px *Proxy) Interface() *ServiceInterface { return px.iface }
+
+// Remote returns the discovered remote service.
+func (px *Proxy) Remote() someip.RemoteService { return px.remote }
+
+// Runtime returns the owning runtime.
+func (px *Proxy) Runtime() *Runtime { return px.rt }
+
+// Call invokes a method by name, non-blocking, returning a future.
+func (px *Proxy) Call(method string, args []byte) *Future {
+	spec, ok := px.iface.Method(method)
+	if !ok {
+		return ResolvedFuture(px.rt.k, Result{Err: fmt.Errorf("ara: %s has no method %q", px.iface.Name, method)})
+	}
+	return px.CallID(spec.ID, args, spec.FireAndForget)
+}
+
+// CallID invokes a method by wire ID. When fireAndForget is true the
+// returned future resolves immediately with an empty result.
+func (px *Proxy) CallID(method someip.MethodID, args []byte, fireAndForget bool) *Future {
+	typ := someip.TypeRequest
+	if fireAndForget {
+		typ = someip.TypeRequestNoReturn
+	}
+	session := px.rt.nextSession()
+	m := &someip.Message{
+		Service:          px.key.Service,
+		Method:           method,
+		Client:           px.rt.clientID,
+		Session:          session,
+		InterfaceVersion: px.iface.Major,
+		Type:             typ,
+		Code:             someip.EOK,
+		Payload:          args,
+	}
+	if fireAndForget {
+		px.rt.send(px.remote.Endpoint, m)
+		return ResolvedFuture(px.rt.k, Result{})
+	}
+	fut := NewFuture(px.rt.k)
+	px.rt.pending[session] = fut
+	px.rt.send(px.remote.Endpoint, m)
+	return fut
+}
+
+// Subscribe registers a handler for an event by name. The handler runs on
+// the runtime's worker pool for every received notification. ack, if not
+// nil, reports the SD subscription outcome.
+func (px *Proxy) Subscribe(event string, handler func(*Ctx, []byte), ack func(ok bool)) error {
+	spec, ok := px.iface.Event(event)
+	if !ok {
+		return fmt.Errorf("ara: %s has no event %q", px.iface.Name, event)
+	}
+	return px.SubscribeID(spec.ID, spec.Eventgroup, handler, ack)
+}
+
+// SubscribeID registers a handler for an event by wire ID and eventgroup.
+func (px *Proxy) SubscribeID(id someip.MethodID, eventgroup uint16, handler func(*Ctx, []byte), ack func(ok bool)) error {
+	if !id.IsEvent() {
+		return fmt.Errorf("ara: id %#x is not an event", uint16(id))
+	}
+	k := eventKey{px.key.Service, id}
+	px.rt.eventSubs[k] = append(px.rt.eventSubs[k], handler)
+	px.rt.sd.Subscribe(px.key, eventgroup, px.rt.conn.Addr(), ack)
+	return nil
+}
+
+// Unsubscribe removes all handlers for the event and withdraws the SD
+// subscription.
+func (px *Proxy) Unsubscribe(event string) error {
+	spec, ok := px.iface.Event(event)
+	if !ok {
+		return fmt.Errorf("ara: %s has no event %q", px.iface.Name, event)
+	}
+	delete(px.rt.eventSubs, eventKey{px.key.Service, spec.ID})
+	px.rt.sd.Unsubscribe(px.key, spec.Eventgroup, px.rt.conn.Addr())
+	return nil
+}
+
+// Field returns client-side access to a field.
+func (px *Proxy) Field(name string) (*FieldClient, error) {
+	spec, ok := px.iface.Field(name)
+	if !ok {
+		return nil, fmt.Errorf("ara: %s has no field %q", px.iface.Name, name)
+	}
+	return &FieldClient{px: px, spec: spec}, nil
+}

@@ -1,0 +1,299 @@
+package ara
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/simnet"
+	"repro/internal/someip"
+)
+
+// BindingHook intercepts messages at the SOME/IP binding boundary. The
+// DEAR framework installs a hook to implement the paper's "modified
+// SOME/IP binding": Outgoing pulls a tag from the timestamp bypass and
+// attaches it to the message; Incoming extracts the tag and pushes it to
+// the bypass before the message continues up the standard stack.
+type BindingHook interface {
+	Outgoing(m *someip.Message)
+	Incoming(src simnet.Addr, m *someip.Message)
+}
+
+// Config configures a Runtime (one per software component process).
+type Config struct {
+	// Name identifies the SWC process (used for process and RNG naming).
+	Name string
+	// Port is the application endpoint port (0 = ephemeral).
+	Port uint16
+	// ClientID for outgoing requests; 0 derives one from host and port.
+	ClientID someip.ClientID
+	// Exec configures the worker-thread pool.
+	Exec ExecConfig
+	// SD configures service discovery timing.
+	SD someip.AgentConfig
+	// Tagged selects the modified (tag-aware) SOME/IP binding.
+	Tagged bool
+	// MTU enables SOME/IP-TP segmentation for messages exceeding this
+	// wire size (0 = no segmentation).
+	MTU int
+}
+
+// Runtime is the per-process ara::com runtime: it owns the application
+// endpoint, the SD agent, the worker-thread executor and the
+// request/response bookkeeping.
+type Runtime struct {
+	host *simnet.Host
+	k    *des.Kernel
+	name string
+	cfg  Config
+
+	conn     *someip.Conn
+	sd       *someip.Agent
+	exec     *Executor
+	clientID someip.ClientID
+	session  someip.SessionID
+	pending  map[someip.SessionID]*Future
+
+	skeletons map[someip.ServiceID]*Skeleton
+	eventSubs map[eventKey][]func(*Ctx, []byte)
+
+	hook BindingHook
+	rng  *des.Rand
+}
+
+type eventKey struct {
+	service someip.ServiceID
+	event   someip.MethodID
+}
+
+// NewRuntime creates a runtime on the host.
+func NewRuntime(host *simnet.Host, cfg Config) (*Runtime, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("ara: runtime needs a name")
+	}
+	k := host.Net().Kernel()
+	ep, err := host.Bind(cfg.Port)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := someip.NewAgent(host, cfg.SD)
+	if err != nil {
+		return nil, err
+	}
+	clientID := cfg.ClientID
+	if clientID == 0 {
+		clientID = someip.ClientID(host.ID()<<8 | ep.Addr().Port&0xff)
+	}
+	rng := k.Rand("ara." + cfg.Name)
+	rt := &Runtime{
+		host:      host,
+		k:         k,
+		name:      cfg.Name,
+		cfg:       cfg,
+		conn:      someip.NewConnMTU(ep, cfg.Tagged, cfg.MTU),
+		sd:        sd,
+		exec:      NewExecutor(k, rng.Stream("exec"), cfg.Exec),
+		clientID:  clientID,
+		pending:   map[someip.SessionID]*Future{},
+		skeletons: map[someip.ServiceID]*Skeleton{},
+		eventSubs: map[eventKey][]func(*Ctx, []byte){},
+		rng:       rng,
+	}
+	rt.conn.OnMessage(rt.handle)
+	return rt, nil
+}
+
+// Name returns the runtime's process name.
+func (rt *Runtime) Name() string { return rt.name }
+
+// Host returns the platform the runtime executes on.
+func (rt *Runtime) Host() *simnet.Host { return rt.host }
+
+// Kernel returns the simulation kernel.
+func (rt *Runtime) Kernel() *des.Kernel { return rt.k }
+
+// Clock returns the platform's local clock.
+func (rt *Runtime) Clock() *des.LocalClock { return rt.host.Clock() }
+
+// Addr returns the application endpoint address.
+func (rt *Runtime) Addr() simnet.Addr { return rt.conn.Addr() }
+
+// SD returns the runtime's service-discovery agent.
+func (rt *Runtime) SD() *someip.Agent { return rt.sd }
+
+// Executor returns the runtime's worker pool.
+func (rt *Runtime) Executor() *Executor { return rt.exec }
+
+// Rand returns the runtime's random stream.
+func (rt *Runtime) Rand() *des.Rand { return rt.rng }
+
+// ConnStats returns the binding's (sent, received, decode error) message
+// counters.
+func (rt *Runtime) ConnStats() (sent, received, decodeErrors uint64) {
+	return rt.conn.Stats()
+}
+
+// SetBindingHook installs the DEAR binding hook (see BindingHook).
+func (rt *Runtime) SetBindingHook(h BindingHook) { rt.hook = h }
+
+// send transmits a message through the (possibly hooked) binding.
+func (rt *Runtime) send(dst simnet.Addr, m *someip.Message) {
+	if rt.hook != nil {
+		rt.hook.Outgoing(m)
+	}
+	rt.conn.Send(dst, m)
+}
+
+func (rt *Runtime) nextSession() someip.SessionID {
+	rt.session++
+	if rt.session == 0 {
+		rt.session = 1
+	}
+	return rt.session
+}
+
+func (rt *Runtime) handle(src simnet.Addr, m *someip.Message) {
+	if rt.hook != nil {
+		rt.hook.Incoming(src, m)
+	}
+	switch m.Type {
+	case someip.TypeRequest, someip.TypeRequestNoReturn:
+		rt.handleRequest(src, m)
+	case someip.TypeResponse, someip.TypeError:
+		rt.handleResponse(m)
+	case someip.TypeNotification:
+		rt.handleNotification(m)
+	}
+}
+
+func (rt *Runtime) handleRequest(src simnet.Addr, m *someip.Message) {
+	sk, ok := rt.skeletons[m.Service]
+	if !ok || !sk.offered {
+		rt.reply(src, m, nil, someip.EUnknownService)
+		return
+	}
+	h, ok := sk.handlers[m.Method]
+	if !ok {
+		rt.reply(src, m, nil, someip.EUnknownMethod)
+		return
+	}
+	req := *m
+	// Each invocation is dispatched to a worker thread; ordering is up to
+	// the (simulated) scheduler.
+	rt.exec.submit(rt, func(c *Ctx) {
+		c.msg = &req
+		fut := h(c, req.Payload)
+		if req.Type == someip.TypeRequestNoReturn {
+			return
+		}
+		fut.Then(func(r Result) {
+			code := someip.EOK
+			payload := r.Payload
+			if r.Err != nil {
+				if re, ok := r.Err.(*RemoteError); ok {
+					code = re.Code
+				} else {
+					code = someip.ENotOK
+				}
+				payload = nil
+			}
+			rt.replyTagged(src, &req, payload, code, r.Tag)
+		})
+	})
+}
+
+func (rt *Runtime) reply(dst simnet.Addr, req *someip.Message, payload []byte, code someip.ReturnCode) {
+	rt.replyTagged(dst, req, payload, code, nil)
+}
+
+// replyTagged sends a response; tag, when non-nil, rides the modified
+// binding's tag trailer (the DEAR server method transactor resolves its
+// future with the response tag ts+Ds).
+func (rt *Runtime) replyTagged(dst simnet.Addr, req *someip.Message, payload []byte, code someip.ReturnCode, tag *logical.Tag) {
+	typ := someip.TypeResponse
+	if code != someip.EOK {
+		typ = someip.TypeError
+	}
+	rt.send(dst, &someip.Message{
+		Service:          req.Service,
+		Method:           req.Method,
+		Client:           req.Client,
+		Session:          req.Session,
+		InterfaceVersion: req.InterfaceVersion,
+		Type:             typ,
+		Code:             code,
+		Payload:          payload,
+		Tag:              tag,
+	})
+}
+
+func (rt *Runtime) handleResponse(m *someip.Message) {
+	fut, ok := rt.pending[m.Session]
+	if !ok {
+		return
+	}
+	delete(rt.pending, m.Session)
+	if m.Type == someip.TypeError || m.Code != someip.EOK {
+		fut.Resolve(Result{Err: &RemoteError{Code: m.Code}, Tag: m.Tag})
+		return
+	}
+	fut.Resolve(Result{Payload: m.Payload, Tag: m.Tag})
+}
+
+func (rt *Runtime) handleNotification(m *someip.Message) {
+	handlers := rt.eventSubs[eventKey{m.Service, m.Method}]
+	msg := *m
+	payload := m.Payload
+	for _, h := range handlers {
+		h := h
+		rt.exec.submit(rt, func(c *Ctx) {
+			c.msg = &msg
+			h(c, payload)
+		})
+	}
+}
+
+// Spawn starts an application process belonging to this runtime.
+func (rt *Runtime) Spawn(name string, body func(*Ctx)) *des.Process {
+	return rt.k.Spawn(rt.name+"."+name, func(p *des.Process) {
+		body(&Ctx{p: p, rt: rt})
+	})
+}
+
+// PeriodicHandle stops a periodic callback.
+type PeriodicHandle struct{ stopped *bool }
+
+// Stop cancels the periodic callback after the current activation.
+func (h *PeriodicHandle) Stop() { *h.stopped = true }
+
+// Every installs a periodic callback driven by the platform's local
+// clock, mirroring the APD demonstrator's cyclic OS triggers: the first
+// activation happens at local time now+offset, then every period of
+// local time. If an activation overruns, missed grid slots are skipped
+// (timer semantics).
+func (rt *Runtime) Every(offset, period logical.Duration, fn func(*Ctx)) *PeriodicHandle {
+	if period <= 0 {
+		panic("ara: Every needs a positive period")
+	}
+	stopped := false
+	clk := rt.Clock()
+	rt.k.Spawn(rt.name+".periodic", func(p *des.Process) {
+		start := clk.Now().Add(offset)
+		for n := int64(0); !stopped; {
+			next := start.Add(logical.Duration(n) * period)
+			// Map the local-time deadline to global simulated time under
+			// the clock's current affine segment.
+			p.WaitUntil(clk.GlobalAt(next))
+			if stopped {
+				return
+			}
+			fn(&Ctx{p: p, rt: rt})
+			// Skip any grid slots the activation overran.
+			n++
+			for clk.Now() >= start.Add(logical.Duration(n)*period) {
+				n++
+			}
+		}
+	})
+	return &PeriodicHandle{stopped: &stopped}
+}

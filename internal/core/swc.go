@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ara"
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/reactor"
+	"repro/internal/simnet"
+)
+
+// SWC is a DEAR-enabled software component: an ara::com runtime with the
+// modified (tagged) binding plus a reactor environment that executes the
+// component's logic as a process on the simulated platform. Each SWC is
+// its own program, mirroring the AP deployment model where every software
+// component maps to an OS process.
+type SWC struct {
+	runtime *ara.Runtime
+	binding *Binding
+	env     *reactor.Environment
+	proc    *des.Process
+
+	name    string
+	started bool
+	done    bool
+	runErr  error
+}
+
+// NewSWC creates a DEAR software component on the host. The ara config's
+// Tagged flag is forced on (DEAR requires the modified binding).
+func NewSWC(host *simnet.Host, cfg ara.Config) (*SWC, error) {
+	cfg.Tagged = true
+	rt, err := ara.NewRuntime(host, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &SWC{runtime: rt, name: cfg.Name}
+	s.binding = AttachBinding(rt)
+	return s, nil
+}
+
+// Runtime returns the component's ara::com runtime.
+func (s *SWC) Runtime() *ara.Runtime { return s.runtime }
+
+// Binding returns the component's DEAR binding.
+func (s *SWC) Binding() *Binding { return s.binding }
+
+// Env returns the reactor environment (valid after Start's build phase;
+// the build callback receives it too).
+func (s *SWC) Env() *reactor.Environment { return s.env }
+
+// Done reports whether the reactor program has terminated.
+func (s *SWC) Done() bool { return s.done }
+
+// Err returns the error from the reactor run, if any (valid once Done).
+func (s *SWC) Err() error { return s.runErr }
+
+// StartOptions tune the reactor environment of an SWC.
+type StartOptions struct {
+	// Timeout stops the reactor program after this much logical time.
+	Timeout logical.Duration
+	// KeepAlive keeps the scheduler alive while the event queue is empty
+	// (required for components driven purely by physical actions).
+	KeepAlive bool
+	// Fast skips the physical-time barrier. Almost always false for DEAR
+	// components: safe-to-process relies on the barrier.
+	Fast bool
+}
+
+// Start spawns the component's reactor program as a platform process.
+// build assembles the program (creating reactors, transactors and
+// connections); it runs inside the process at current simulated time.
+// Returns immediately; the program runs as the kernel advances.
+func (s *SWC) Start(opts StartOptions, build func(env *reactor.Environment) error) {
+	if s.started {
+		panic("core: SWC " + s.name + " already started")
+	}
+	s.started = true
+	k := s.runtime.Kernel()
+	s.proc = k.Spawn(s.name+".reactor", func(p *des.Process) {
+		env := reactor.NewEnvironment(reactor.Options{
+			Clock:     reactor.NewSimClock(p, s.runtime.Host().Clock()),
+			Timeout:   opts.Timeout,
+			KeepAlive: opts.KeepAlive,
+			Fast:      opts.Fast,
+			Workers:   1,
+		})
+		s.env = env
+		if err := build(env); err != nil {
+			s.runErr = fmt.Errorf("core: building %s: %w", s.name, err)
+			s.done = true
+			return
+		}
+		s.runErr = env.Run()
+		s.done = true
+	})
+}
+
+// Stop requests the reactor program to shut down.
+func (s *SWC) Stop() {
+	if s.env != nil {
+		s.env.RequestStop()
+	}
+}

@@ -1,0 +1,146 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logical"
+)
+
+func TestLocalClockNoDriftTracksGlobal(t *testing.T) {
+	k := NewKernel(1)
+	c := k.NewLocalClock(ClockConfig{}, nil)
+	k.At(logical.Time(5*logical.Second), func() {
+		if c.Now() != k.Now() {
+			t.Errorf("clock = %v, global = %v", c.Now(), k.Now())
+		}
+	})
+	k.RunAll()
+}
+
+func TestLocalClockOffset(t *testing.T) {
+	k := NewKernel(1)
+	c := k.NewLocalClock(ClockConfig{Offset: 100}, nil)
+	if c.Now() != 100 {
+		t.Errorf("clock = %v, want 100", c.Now())
+	}
+	k.At(50, func() {
+		if c.Now() != 150 {
+			t.Errorf("clock = %v, want 150", c.Now())
+		}
+	})
+	k.RunAll()
+}
+
+func TestLocalClockDrift(t *testing.T) {
+	k := NewKernel(1)
+	// +50 ppm fast clock.
+	c := k.NewLocalClock(ClockConfig{DriftPPB: 50_000}, nil)
+	k.At(logical.Time(logical.Second), func() {
+		want := logical.Time(logical.Second + 50*logical.Microsecond)
+		if c.Now() != want {
+			t.Errorf("clock = %v, want %v", c.Now(), want)
+		}
+	})
+	k.RunAll()
+}
+
+func TestLocalClockNegativeDrift(t *testing.T) {
+	k := NewKernel(1)
+	c := k.NewLocalClock(ClockConfig{DriftPPB: -20_000}, nil)
+	k.At(logical.Time(logical.Second), func() {
+		want := logical.Time(logical.Second - 20*logical.Microsecond)
+		if c.Now() != want {
+			t.Errorf("clock = %v, want %v", c.Now(), want)
+		}
+	})
+	k.RunAll()
+}
+
+func TestLocalClockGlobalAtInvertsLocalAt(t *testing.T) {
+	k := NewKernel(1)
+	c := k.NewLocalClock(ClockConfig{Offset: 12345, DriftPPB: 30_000}, nil)
+	for _, g := range []logical.Time{0, 1000, 999_999_999, 7_000_000_001} {
+		l := c.LocalAt(g)
+		back := c.GlobalAt(l)
+		diff := int64(back - g)
+		if diff < -2 || diff > 2 {
+			t.Errorf("round trip %v -> %v -> %v (diff %d)", g, l, back, diff)
+		}
+	}
+}
+
+func TestLocalClockSyncBoundsError(t *testing.T) {
+	k := NewKernel(99)
+	bound := logical.Duration(100 * logical.Microsecond)
+	c := k.NewLocalClock(ClockConfig{
+		Offset:     logical.Duration(50 * logical.Millisecond), // large initial error
+		DriftPPB:   40_000,
+		SyncBound:  bound,
+		SyncPeriod: logical.Duration(100 * logical.Millisecond),
+	}, k.Rand("sync"))
+	// After the first sync the error must stay within bound + drift accrual.
+	maxAllowed := bound + logical.Duration(40_000*100_000_000/1_000_000_000) // E + drift*period
+	var worst logical.Duration
+	for ms := 150; ms <= 2000; ms += 50 {
+		k.At(logical.Time(ms)*logical.Time(logical.Millisecond), func() {
+			err := c.Error()
+			if err < 0 {
+				err = -err
+			}
+			if err > worst {
+				worst = err
+			}
+		})
+	}
+	k.RunAll()
+	if worst > maxAllowed {
+		t.Errorf("worst clock error %v exceeds allowed %v", worst, maxAllowed)
+	}
+	if c.Syncs() == 0 {
+		t.Error("no syncs happened")
+	}
+}
+
+func TestMulDivRound(t *testing.T) {
+	cases := []struct{ a, b, c, want int64 }{
+		{10, 3, 2, 15},
+		{1_000_000_000, 50_000, 1_000_000_000, 50_000},
+		{-10, 3, 2, -15},
+		{10, -3, 2, -15},
+		{1 << 40, 1 << 20, 1 << 10, 1 << 50},
+		{0, 999, 7, 0},
+	}
+	for _, c := range cases {
+		if got := mulDivRound(c.a, c.b, c.c); got != c.want {
+			t.Errorf("mulDivRound(%d,%d,%d) = %d, want %d", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+// Property: mulDivRound(a, b, b) == a for nonzero b.
+func TestMulDivRoundIdentity(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		return mulDivRound(int64(a), int64(b), int64(b)) == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mulDivRound matches direct evaluation when no overflow occurs.
+func TestMulDivRoundSmall(t *testing.T) {
+	f := func(a int16, b int16, c int16) bool {
+		if c == 0 {
+			return true
+		}
+		want := int64(a) * int64(b) / int64(c)
+		return mulDivRound(int64(a), int64(b), int64(c)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

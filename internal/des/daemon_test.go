@@ -1,0 +1,105 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+)
+
+func TestDaemonEventsDoNotKeepRunAlive(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		k.AfterDaemon(10, tick)
+	}
+	k.AtDaemon(0, tick)
+	// No non-daemon work: RunAll must terminate immediately.
+	k.RunAll()
+	if fired != 0 {
+		t.Errorf("daemon fired %d times with no pending work", fired)
+	}
+}
+
+func TestDaemonEventsInterleaveWithPendingWork(t *testing.T) {
+	k := NewKernel(1)
+	daemonFires := 0
+	var tick func()
+	tick = func() {
+		daemonFires++
+		k.AfterDaemon(10, tick)
+	}
+	k.AtDaemon(0, tick)
+	k.At(55, func() {}) // pending work at t=55
+	k.RunAll()
+	// Daemons at 0,10,20,30,40,50 fire before the work at 55 drains.
+	if daemonFires != 6 {
+		t.Errorf("daemon fired %d times, want 6", daemonFires)
+	}
+}
+
+func TestDaemonCancelation(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	ev := k.AtDaemon(5, func() { fired = true })
+	ev.Cancel()
+	k.At(10, func() {})
+	k.RunAll()
+	if fired {
+		t.Error("canceled daemon fired")
+	}
+}
+
+func TestCancelNonDaemonReleasesPending(t *testing.T) {
+	k := NewKernel(1)
+	ev := k.At(100, func() { t.Error("canceled event fired") })
+	daemonRan := false
+	k.AtDaemon(5, func() { daemonRan = true })
+	ev.Cancel()
+	// With the only pending event canceled, Run must terminate without
+	// firing the daemon.
+	k.RunAll()
+	if daemonRan {
+		t.Error("daemon ran after pending work was canceled")
+	}
+}
+
+func TestRunHorizonWithOnlyDaemonsAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	k.AtDaemon(10, func() {})
+	got := k.Run(logical.Time(500))
+	if got != 500 {
+		t.Errorf("Run returned %v, want horizon 500", got)
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("p", func(p *Process) { p.Park() })
+	k.RunAll()
+	k.Shutdown()
+	k.Shutdown() // second call must be harmless
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	k := NewKernel(1)
+	ev := k.At(42, func() {})
+	if ev.Time() != 42 {
+		t.Errorf("Time = %v", ev.Time())
+	}
+}
+
+func TestKernelStringer(t *testing.T) {
+	k := NewKernel(1)
+	if k.String() == "" {
+		t.Error("empty kernel string")
+	}
+	p := k.Spawn("named", func(p *Process) {})
+	if p.String() != "process(named)" {
+		t.Errorf("process string = %q", p.String())
+	}
+	if p.Name() != "named" || p.Kernel() != k {
+		t.Error("accessors wrong")
+	}
+}

@@ -1,0 +1,216 @@
+// Package des provides a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and an event queue ordered by
+// (time, sequence number). Simulated threads of control are Processes:
+// goroutines that run strictly one at a time, handing a baton back to the
+// kernel whenever they block on a simulated operation (Sleep, WaitUntil,
+// mailbox receive, ...). Because exactly one entity runs at any instant and
+// all ties are broken by the deterministic sequence counter, a simulation
+// is a pure function of its seed and inputs — the Go runtime scheduler has
+// no influence on results.
+//
+// This substrate stands in for the paper's physical testbed (two
+// MinnowBoard platforms and an Ethernet switch): it simulates physical
+// time, drifting local clocks, network latency and OS thread dispatch with
+// seeded randomness, which is exactly the machinery needed to reproduce
+// the nondeterministic interleavings studied in the paper — reproducibly.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/logical"
+)
+
+// Event is a scheduled closure. It can be canceled before it fires.
+type Event struct {
+	k        *Kernel
+	at       logical.Time
+	seq      uint64
+	fire     func()
+	daemon   bool
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if !e.daemon && e.index >= 0 {
+		e.k.pending--
+	}
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() logical.Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. Create one with NewKernel, spawn
+// processes and schedule events, then call Run.
+type Kernel struct {
+	now      logical.Time
+	seq      uint64
+	queue    eventHeap
+	pending  int // non-daemon, non-canceled events still queued
+	procs    []*Process
+	running  bool
+	stopped  bool
+	shutdown bool
+	fired    uint64
+	rootRand *Rand
+}
+
+// NewKernel returns a kernel whose clock starts at time zero and whose
+// random streams all derive from seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rootRand: NewRand(seed)}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() logical.Time { return k.now }
+
+// EventsFired returns the number of events executed so far (useful for
+// progress accounting and benchmarks).
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Rand derives a named, independent random stream from the kernel seed.
+// The same (seed, label) pair always yields the same stream.
+func (k *Kernel) Rand(label string) *Rand { return k.rootRand.Stream(label) }
+
+// At schedules fn to run at simulated time t. Scheduling in the past (or
+// present) fires the event at the current time but never before events
+// already queued for that time. The returned Event may be canceled.
+func (k *Kernel) At(t logical.Time, fn func()) *Event {
+	return k.schedule(t, false, fn)
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d logical.Duration, fn func()) *Event {
+	return k.At(k.now.Add(d), fn)
+}
+
+// AtDaemon schedules a housekeeping event. Daemon events fire in normal
+// time order but do not keep the simulation alive: Run stops once only
+// daemon events remain. Self-rescheduling services (clock sync, periodic
+// maintenance) use daemon events so that RunAll terminates.
+func (k *Kernel) AtDaemon(t logical.Time, fn func()) *Event {
+	return k.schedule(t, true, fn)
+}
+
+// AfterDaemon schedules a daemon event d from now.
+func (k *Kernel) AfterDaemon(d logical.Duration, fn func()) *Event {
+	return k.AtDaemon(k.now.Add(d), fn)
+}
+
+func (k *Kernel) schedule(t logical.Time, daemon bool, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	e := &Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon}
+	heap.Push(&k.queue, e)
+	if !daemon {
+		k.pending++
+	}
+	return e
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes queued events in (time, sequence) order until only daemon
+// events remain, Stop is called, or the next event lies strictly beyond
+// the until horizon. It returns the simulated time at which it stopped.
+// Run must not be called reentrantly and the kernel must not be shared
+// across goroutines other than through Process operations.
+func (k *Kernel) Run(until logical.Time) logical.Time {
+	if k.running {
+		panic("des: Kernel.Run called reentrantly")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+	for len(k.queue) > 0 && k.pending > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.canceled {
+			continue
+		}
+		if !next.daemon {
+			k.pending--
+		}
+		if next.at > k.now {
+			k.now = next.at
+		}
+		k.fired++
+		next.fire()
+	}
+	if !k.stopped && k.now < until && until < logical.Forever {
+		// The simulation went quiescent before the horizon; advance the
+		// clock so that successive Run calls observe monotonic time.
+		k.now = until
+	}
+	return k.now
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (k *Kernel) RunAll() logical.Time { return k.Run(logical.Forever) }
+
+// Shutdown unblocks every parked or sleeping process with a termination
+// signal so that their goroutines unwind and exit. It must be called after
+// Run returns if processes may still be blocked; otherwise their goroutines
+// leak. User process code must not swallow panics of type Killed.
+func (k *Kernel) Shutdown() {
+	k.shutdown = true
+	for _, p := range k.procs {
+		if p.state == procBlocked || p.state == procSleeping {
+			p.kill()
+		}
+	}
+}
+
+// QueueLen reports the number of pending (possibly canceled) events.
+func (k *Kernel) QueueLen() int { return len(k.queue) }
+
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel(now=%s queued=%d fired=%d)", k.now, len(k.queue), k.fired)
+}

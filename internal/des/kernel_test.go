@@ -1,0 +1,163 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+)
+
+func TestKernelFiresInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if k.Now() != 30 {
+		t.Errorf("now = %v, want 30", k.Now())
+	}
+}
+
+func TestKernelTieBreakBySequence(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(10, func() { order = append(order, 1) })
+	k.At(10, func() { order = append(order, 2) })
+	k.At(10, func() { order = append(order, 3) })
+	k.RunAll()
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v, want [1 2 3]", order)
+		}
+	}
+}
+
+func TestKernelPastSchedulingClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	var at logical.Time
+	k.At(100, func() {
+		k.At(50, func() { at = k.Now() }) // in the past
+	})
+	k.RunAll()
+	if at != 100 {
+		t.Errorf("past event fired at %v, want 100", at)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.At(10, func() { fired = true })
+	e.Cancel()
+	k.RunAll()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() should be true")
+	}
+}
+
+func TestKernelRunHorizon(t *testing.T) {
+	k := NewKernel(1)
+	fired := []logical.Time{}
+	k.At(10, func() { fired = append(fired, 10) })
+	k.At(20, func() { fired = append(fired, 20) })
+	k.Run(15)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Errorf("fired = %v, want [10]", fired)
+	}
+	// Continue past the horizon.
+	k.RunAll()
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want both", fired)
+	}
+}
+
+func TestKernelQuiescentAdvancesToHorizon(t *testing.T) {
+	k := NewKernel(1)
+	k.Run(500)
+	if k.Now() != 500 {
+		t.Errorf("now = %v, want 500", k.Now())
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.At(10, func() { count++; k.Stop() })
+	k.At(20, func() { count++ })
+	k.RunAll()
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (stopped)", count)
+	}
+}
+
+func TestKernelAfter(t *testing.T) {
+	k := NewKernel(1)
+	var at logical.Time
+	k.At(40, func() {
+		k.After(10, func() { at = k.Now() })
+	})
+	k.RunAll()
+	if at != 50 {
+		t.Errorf("After fired at %v, want 50", at)
+	}
+}
+
+func TestKernelEventsFired(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 5; i++ {
+		k.At(logical.Time(i), func() {})
+	}
+	k.RunAll()
+	if k.EventsFired() != 5 {
+		t.Errorf("EventsFired = %d, want 5", k.EventsFired())
+	}
+}
+
+func TestKernelDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) []int64 {
+		k := NewKernel(seed)
+		rng := k.Rand("gen")
+		var trace []int64
+		var rec func()
+		n := 0
+		rec = func() {
+			trace = append(trace, int64(k.Now()))
+			n++
+			if n < 200 {
+				k.After(logical.Duration(rng.Range(1, 100)), rec)
+			}
+		}
+		k.At(0, rec)
+		k.RunAll()
+		return trace
+	}
+	a := run(42)
+	b := run(42)
+	c := run(43)
+	if len(a) != len(b) {
+		t.Fatal("same seed traces differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed traces differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}

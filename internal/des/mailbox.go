@@ -1,0 +1,101 @@
+package des
+
+import "repro/internal/logical"
+
+// Mailbox is an unbounded FIFO queue connecting simulated processes.
+// Deliveries and receives are ordered by the kernel's deterministic event
+// order. A mailbox may have at most one process blocked in Recv at a time.
+type Mailbox[T any] struct {
+	k      *Kernel
+	name   string
+	items  []T
+	waiter *Process
+}
+
+// NewMailbox creates a mailbox on the kernel.
+func NewMailbox[T any](k *Kernel, name string) *Mailbox[T] {
+	return &Mailbox[T]{k: k, name: name}
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Put enqueues an item immediately (at the current simulated time) and
+// wakes a blocked receiver, if any. Safe to call from kernel events or
+// from any process (there is never true concurrency in a DES).
+func (m *Mailbox[T]) Put(v T) {
+	m.items = append(m.items, v)
+	if m.waiter != nil {
+		w := m.waiter
+		m.waiter = nil
+		w.Unpark()
+	}
+}
+
+// PutAt schedules the item to be enqueued at simulated time t.
+func (m *Mailbox[T]) PutAt(t logical.Time, v T) {
+	m.k.At(t, func() { m.Put(v) })
+}
+
+// PutAfter schedules the item to be enqueued d from now.
+func (m *Mailbox[T]) PutAfter(d logical.Duration, v T) {
+	m.k.After(d, func() { m.Put(v) })
+}
+
+// TryRecv dequeues an item without blocking. ok is false when empty.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
+	if len(m.items) == 0 {
+		return v, false
+	}
+	v = m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Recv blocks the calling process until an item is available, then
+// dequeues it. Panics if another process is already blocked in Recv.
+func (m *Mailbox[T]) Recv(p *Process) T {
+	for len(m.items) == 0 {
+		if m.waiter != nil {
+			panic("des: multiple receivers blocked on mailbox " + m.name)
+		}
+		m.waiter = p
+		p.Park()
+		if m.waiter == p {
+			m.waiter = nil
+		}
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v
+}
+
+// RecvTimeout blocks until an item is available or the deadline passes.
+// ok is false on timeout.
+func (m *Mailbox[T]) RecvTimeout(p *Process, d logical.Duration) (v T, ok bool) {
+	deadline := m.k.now.Add(d)
+	for len(m.items) == 0 {
+		if m.k.now >= deadline {
+			return v, false
+		}
+		if m.waiter != nil {
+			panic("des: multiple receivers blocked on mailbox " + m.name)
+		}
+		m.waiter = p
+		// Wake at the deadline unless an item arrives first.
+		ev := m.k.At(deadline, func() {
+			if m.waiter == p {
+				m.waiter = nil
+				p.Unpark()
+			}
+		})
+		p.Park()
+		ev.Cancel()
+		if m.waiter == p {
+			m.waiter = nil
+		}
+	}
+	v = m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}

@@ -1,0 +1,224 @@
+package des
+
+import (
+	"fmt"
+
+	"repro/internal/logical"
+)
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunnable
+	procRunning
+	procSleeping // blocked with a scheduled wake event
+	procBlocked  // parked, waiting for an explicit Unpark
+	procDone
+)
+
+// Killed is the panic value used to unwind a process goroutine during
+// Kernel.Shutdown. Process bodies must let it propagate (a deferred
+// recover must re-panic on it).
+type Killed struct{ Name string }
+
+func (k Killed) Error() string { return "des: process killed: " + k.Name }
+
+// Process is a simulated thread of control. Its body runs on a dedicated
+// goroutine but only while the kernel has handed it the baton, so at most
+// one process (or the kernel itself) executes at any moment.
+//
+// All Process methods that block (Sleep, WaitUntil, Park, ...) must be
+// called only from within the process's own body.
+type Process struct {
+	k      *Kernel
+	name   string
+	state  procState
+	resume chan resumeSignal
+	yield  chan struct{}
+	wake   *Event // pending wake event while sleeping
+	// interruptible is set while the process blocks in an operation that
+	// Interrupt may legitimately wake (WaitUntilInterruptible, Park).
+	interruptible bool
+	killed        bool
+}
+
+type resumeSignal struct {
+	interrupted bool
+	killed      bool
+}
+
+// Spawn creates a process and schedules its body to start at the current
+// simulated time (after already-queued events at that time).
+func (k *Kernel) Spawn(name string, body func(p *Process)) *Process {
+	return k.SpawnAt(k.now, name, body)
+}
+
+// SpawnAt creates a process whose body starts at simulated time t.
+func (k *Kernel) SpawnAt(t logical.Time, name string, body func(p *Process)) *Process {
+	p := &Process{
+		k:      k,
+		name:   name,
+		state:  procNew,
+		resume: make(chan resumeSignal),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		sig := <-p.resume
+		if sig.killed {
+			p.state = procDone
+			p.yield <- struct{}{}
+			return
+		}
+		p.state = procRunning
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(Killed); ok {
+					p.state = procDone
+					p.yield <- struct{}{}
+					return
+				}
+				p.state = procDone
+				// Hand the baton back before re-panicking so the kernel
+				// does not deadlock; then crash loudly on this goroutine.
+				p.yield <- struct{}{}
+				panic(r)
+			}
+			p.state = procDone
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	k.At(t, func() { p.dispatch(resumeSignal{}) })
+	return p
+}
+
+// dispatch hands the baton to the process and waits for it to block or
+// finish. Called only from kernel context (inside a firing event).
+func (p *Process) dispatch(sig resumeSignal) {
+	if p.state == procDone {
+		return
+	}
+	p.resume <- sig
+	<-p.yield
+}
+
+// block yields the baton to the kernel and waits to be resumed. Returns
+// the resume signal. Panics with Killed during kernel shutdown.
+func (p *Process) block(st procState) resumeSignal {
+	p.state = st
+	p.yield <- struct{}{}
+	sig := <-p.resume
+	if sig.killed {
+		panic(Killed{Name: p.name})
+	}
+	p.state = procRunning
+	return sig
+}
+
+// kill unblocks the process goroutine with a termination signal. Called
+// from kernel context during Shutdown.
+func (p *Process) kill() {
+	if p.state == procDone || p.killed {
+		return
+	}
+	p.killed = true
+	if p.wake != nil {
+		p.wake.Cancel()
+		p.wake = nil
+	}
+	p.resume <- resumeSignal{killed: true}
+	<-p.yield
+}
+
+// Name returns the process name given at spawn time.
+func (p *Process) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Process) Now() logical.Time { return p.k.now }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.state == procDone }
+
+// Sleep blocks the process for d of simulated time.
+func (p *Process) Sleep(d logical.Duration) {
+	p.WaitUntil(p.k.now.Add(d))
+}
+
+// WaitUntil blocks the process until simulated time t. It is immune to
+// Interrupt: only its own scheduled wake event (or kernel shutdown) can
+// resume a plain wait.
+func (p *Process) WaitUntil(t logical.Time) {
+	p.wake = p.k.At(t, func() { p.dispatch(resumeSignal{}) })
+	p.block(procSleeping)
+	p.wake = nil
+}
+
+// WaitUntilInterruptible blocks until simulated time t or until another
+// process calls Interrupt, whichever comes first. It reports whether the
+// wait was interrupted.
+func (p *Process) WaitUntilInterruptible(t logical.Time) (interrupted bool) {
+	p.wake = p.k.At(t, func() { p.dispatch(resumeSignal{}) })
+	p.interruptible = true
+	sig := p.block(procSleeping)
+	p.interruptible = false
+	if p.wake != nil {
+		p.wake.Cancel()
+		p.wake = nil
+	}
+	return sig.interrupted
+}
+
+// Interrupt wakes a process blocked in WaitUntilInterruptible or Park
+// before its scheduled time. The wake is delivered as a kernel event at
+// the current simulated time, preserving deterministic ordering. It is a
+// no-op if the process is not blocked in an interruptible operation at
+// delivery time.
+func (p *Process) Interrupt() {
+	p.k.At(p.k.now, func() {
+		if !p.interruptible {
+			return
+		}
+		if p.state != procSleeping && p.state != procBlocked {
+			return
+		}
+		if p.wake != nil {
+			p.wake.Cancel()
+			p.wake = nil
+		}
+		p.dispatch(resumeSignal{interrupted: true})
+	})
+}
+
+// Park blocks the process indefinitely until some other process or event
+// calls Unpark (or Interrupt). It reports whether it was woken by
+// Interrupt rather than Unpark.
+func (p *Process) Park() (interrupted bool) {
+	p.interruptible = true
+	sig := p.block(procBlocked)
+	p.interruptible = false
+	return sig.interrupted
+}
+
+// Unpark wakes a parked process at the current simulated time. No-op if
+// the process is not parked when the wake event fires.
+func (p *Process) Unpark() {
+	p.k.At(p.k.now, func() {
+		if p.state != procBlocked {
+			return
+		}
+		p.dispatch(resumeSignal{})
+	})
+}
+
+// Yield gives other events scheduled at the current time a chance to run
+// before the process continues (equivalent to WaitUntil(now)).
+func (p *Process) Yield() { p.WaitUntil(p.k.now) }
+
+func (p *Process) String() string {
+	return fmt.Sprintf("process(%s)", p.name)
+}

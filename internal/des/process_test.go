@@ -1,0 +1,292 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+)
+
+func TestProcessSleep(t *testing.T) {
+	k := NewKernel(1)
+	var wakeTimes []logical.Time
+	k.Spawn("sleeper", func(p *Process) {
+		p.Sleep(10)
+		wakeTimes = append(wakeTimes, p.Now())
+		p.Sleep(25)
+		wakeTimes = append(wakeTimes, p.Now())
+	})
+	k.RunAll()
+	if len(wakeTimes) != 2 || wakeTimes[0] != 10 || wakeTimes[1] != 35 {
+		t.Errorf("wakeTimes = %v, want [10 35]", wakeTimes)
+	}
+}
+
+func TestProcessWaitUntil(t *testing.T) {
+	k := NewKernel(1)
+	var woke logical.Time
+	k.Spawn("w", func(p *Process) {
+		p.WaitUntil(77)
+		woke = p.Now()
+	})
+	k.RunAll()
+	if woke != 77 {
+		t.Errorf("woke at %v, want 77", woke)
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(9)
+		var trace []string
+		k.Spawn("a", func(p *Process) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(10)
+				trace = append(trace, "a")
+			}
+		})
+		k.Spawn("b", func(p *Process) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(10)
+				trace = append(trace, "b")
+			}
+		})
+		k.RunAll()
+		return trace
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces differ: %v vs %v", a, b)
+		}
+	}
+	// Process a was spawned first, so at equal times it runs first.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestProcessParkUnpark(t *testing.T) {
+	k := NewKernel(1)
+	var got logical.Time
+	p := k.Spawn("parked", func(p *Process) {
+		if interrupted := p.Park(); interrupted {
+			t.Error("Park reported interrupted for Unpark")
+		}
+		got = p.Now()
+	})
+	k.At(42, func() { p.Unpark() })
+	k.RunAll()
+	if got != 42 {
+		t.Errorf("woke at %v, want 42", got)
+	}
+	if !p.Done() {
+		t.Error("process should be done")
+	}
+}
+
+func TestProcessInterruptibleWaitInterrupted(t *testing.T) {
+	k := NewKernel(1)
+	var interrupted bool
+	var at logical.Time
+	p := k.Spawn("w", func(p *Process) {
+		interrupted = p.WaitUntilInterruptible(1000)
+		at = p.Now()
+	})
+	k.At(30, func() { p.Interrupt() })
+	k.RunAll()
+	if !interrupted {
+		t.Error("wait should have been interrupted")
+	}
+	if at != 30 {
+		t.Errorf("woke at %v, want 30", at)
+	}
+}
+
+func TestProcessInterruptibleWaitTimesOut(t *testing.T) {
+	k := NewKernel(1)
+	var interrupted bool
+	k.Spawn("w", func(p *Process) {
+		interrupted = p.WaitUntilInterruptible(50)
+	})
+	k.RunAll()
+	if interrupted {
+		t.Error("wait should have timed out, not been interrupted")
+	}
+	if k.Now() != 50 {
+		t.Errorf("now = %v, want 50", k.Now())
+	}
+}
+
+func TestProcessInterruptAfterWakeIsNoop(t *testing.T) {
+	k := NewKernel(1)
+	p := k.Spawn("w", func(p *Process) {
+		p.WaitUntilInterruptible(10)
+		p.Sleep(100) // plain sleep; late interrupt must not disturb it
+	})
+	k.At(10, func() { p.Interrupt() }) // delivered after the wait finished
+	k.RunAll()
+	if k.Now() != 110 {
+		t.Errorf("now = %v, want 110", k.Now())
+	}
+}
+
+func TestSpawnAtStartsLater(t *testing.T) {
+	k := NewKernel(1)
+	var start logical.Time
+	k.SpawnAt(500, "late", func(p *Process) { start = p.Now() })
+	k.RunAll()
+	if start != 500 {
+		t.Errorf("started at %v, want 500", start)
+	}
+}
+
+func TestShutdownUnblocksProcesses(t *testing.T) {
+	k := NewKernel(1)
+	cleanedUp := false
+	k.Spawn("stuck", func(p *Process) {
+		defer func() {
+			// The Killed panic must propagate, but deferred cleanup runs.
+			cleanedUp = true
+			if r := recover(); r != nil {
+				panic(r)
+			}
+		}()
+		p.Park() // never unparked
+	})
+	k.RunAll()
+	k.Shutdown()
+	if !cleanedUp {
+		t.Error("deferred cleanup did not run on Shutdown")
+	}
+}
+
+func TestShutdownUnblocksSleepers(t *testing.T) {
+	k := NewKernel(1)
+	done := false
+	k.Spawn("sleeper", func(p *Process) {
+		defer func() {
+			done = true
+			if r := recover(); r != nil {
+				if _, ok := r.(Killed); !ok {
+					t.Errorf("unexpected panic %v", r)
+				}
+				panic(r)
+			}
+		}()
+		p.Sleep(logical.Duration(logical.Hour))
+	})
+	k.Run(10)
+	k.Shutdown()
+	if !done {
+		t.Error("sleeper not unwound")
+	}
+}
+
+func TestProcessYield(t *testing.T) {
+	k := NewKernel(1)
+	var trace []string
+	k.Spawn("a", func(p *Process) {
+		trace = append(trace, "a1")
+		p.Yield()
+		trace = append(trace, "a2")
+	})
+	k.Spawn("b", func(p *Process) {
+		trace = append(trace, "b1")
+	})
+	k.RunAll()
+	want := []string{"a1", "b1", "a2"}
+	if len(trace) != 3 || trace[0] != want[0] || trace[1] != want[1] || trace[2] != want[2] {
+		t.Errorf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestMailboxPutRecv(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k, "mb")
+	var got []int
+	k.Spawn("rx", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p))
+		}
+	})
+	k.At(5, func() { mb.Put(1) })
+	k.At(10, func() { mb.Put(2); mb.Put(3) })
+	k.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestMailboxRecvBeforePut(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[string](k, "mb")
+	var at logical.Time
+	k.Spawn("rx", func(p *Process) {
+		mb.Recv(p)
+		at = p.Now()
+	})
+	mb.PutAt(99, "hello")
+	k.RunAll()
+	if at != 99 {
+		t.Errorf("received at %v, want 99", at)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k, "mb")
+	if _, ok := mb.TryRecv(); ok {
+		t.Error("TryRecv on empty should fail")
+	}
+	mb.Put(7)
+	v, ok := mb.TryRecv()
+	if !ok || v != 7 {
+		t.Errorf("TryRecv = %v, %v", v, ok)
+	}
+}
+
+func TestMailboxRecvTimeout(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k, "mb")
+	var ok1, ok2 bool
+	var at logical.Time
+	k.Spawn("rx", func(p *Process) {
+		_, ok1 = mb.RecvTimeout(p, 20)
+		at = p.Now()
+		var v int
+		v, ok2 = mb.RecvTimeout(p, 100)
+		if v != 5 {
+			t.Errorf("v = %d, want 5", v)
+		}
+	})
+	mb.PutAt(60, 5)
+	k.RunAll()
+	if ok1 {
+		t.Error("first RecvTimeout should time out")
+	}
+	if at != 20 {
+		t.Errorf("timeout at %v, want 20", at)
+	}
+	if !ok2 {
+		t.Error("second RecvTimeout should succeed")
+	}
+}
+
+func TestMailboxPutAfter(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k, "mb")
+	k.At(10, func() { mb.PutAfter(15, 1) })
+	var at logical.Time
+	k.Spawn("rx", func(p *Process) {
+		mb.Recv(p)
+		at = p.Now()
+	})
+	k.RunAll()
+	if at != 25 {
+		t.Errorf("received at %v, want 25", at)
+	}
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logical"
+)
+
+func TestLatencyComparison(t *testing.T) {
+	res, err := RunLatencyComparison(3, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DearErrors != 0 {
+		t.Errorf("DEAR errors = %d, want 0", res.DearErrors)
+	}
+	if res.DearMax <= 0 || res.BaselineMax <= 0 {
+		t.Fatal("latencies not recorded")
+	}
+	// DEAR pays the deliberate safe-to-process delay: its mean latency
+	// exceeds its own spread by a wide margin and is pinned to a narrow
+	// band, whereas the baseline's band is wide.
+	if res.DearSpread >= logical.Duration(5*logical.Millisecond) {
+		t.Errorf("DEAR spread = %v, want tightly pinned", res.DearSpread)
+	}
+	if res.BaselineSpread <= res.DearSpread {
+		t.Errorf("baseline spread %v should exceed DEAR spread %v",
+			res.BaselineSpread, res.DearSpread)
+	}
+	// The deterministic latency equals the analytical bound ~70ms.
+	if res.DearMean < logical.Duration(65*logical.Millisecond) ||
+		res.DearMean > logical.Duration(75*logical.Millisecond) {
+		t.Errorf("DEAR mean latency = %v, want ~70ms", res.DearMean)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "DEAR") || !strings.Contains(out, "baseline") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestLatencyComparisonReproducible(t *testing.T) {
+	a, err := RunLatencyComparison(9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLatencyComparison(9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("same seed differs:\n%+v\n%+v", a, b)
+	}
+}

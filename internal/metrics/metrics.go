@@ -1,0 +1,244 @@
+// Package metrics provides the small statistics and table-rendering
+// toolkit used by the experiment harness: streaming moments, quantiles,
+// histograms and fixed-width text tables matching the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stream accumulates streaming statistics (Welford's algorithm) plus the
+// raw samples for exact quantiles.
+type Stream struct {
+	n       int
+	mean    float64
+	m2      float64
+	min     float64
+	max     float64
+	samples []float64
+	keep    bool
+}
+
+// NewStream returns a stream that keeps raw samples (exact quantiles).
+func NewStream() *Stream { return &Stream{keep: true} }
+
+// NewMomentsOnly returns a stream without sample retention.
+func NewMomentsOnly() *Stream { return &Stream{} }
+
+// Add records a sample.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if s.keep {
+		s.samples = append(s.samples, x)
+	}
+}
+
+// N returns the sample count.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the sample mean (0 for empty streams).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Stream) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample.
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest sample.
+func (s *Stream) Max() float64 { return s.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
+// Requires sample retention.
+func (s *Stream) Quantile(q float64) float64 {
+	if !s.keep || s.n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s.samples...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	under   int
+	over    int
+	n       int
+}
+
+// NewHistogram creates a histogram with the given bucket count.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if hi <= lo || buckets <= 0 {
+		panic("metrics: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, buckets)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if idx >= len(h.Buckets) {
+			idx = len(h.Buckets) - 1
+		}
+		h.Buckets[idx]++
+	}
+}
+
+// N returns the total number of samples.
+func (h *Histogram) N() int { return h.n }
+
+// OutOfRange returns samples below Lo and at/above Hi.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// Fraction returns the share of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.n)
+}
+
+// Render draws a horizontal ASCII bar chart of the histogram.
+func (h *Histogram) Render(width int, label func(i int) string) string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Buckets {
+		bar := strings.Repeat("#", c*width/maxCount)
+		fmt.Fprintf(&b, "%12s |%-*s| %6.3f\n", label(i), width, bar, h.Fraction(i))
+	}
+	return b.String()
+}
+
+// Table renders fixed-width text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.header))
+	for i, h := range t.header {
+		cells[i] = esc(h)
+	}
+	b.WriteString(strings.Join(cells, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

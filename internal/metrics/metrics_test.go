@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMoments(t *testing.T) {
+	s := NewStream()
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Known dataset: population stddev 2, sample variance 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamQuantiles(t *testing.T) {
+	s := NewStream()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := s.Quantile(0.5); math.Abs(q-50.5) > 1e-9 {
+		t.Errorf("median = %v", q)
+	}
+	if q := s.Quantile(0.99); q > 100 || q < 99 {
+		t.Errorf("p99 = %v", q)
+	}
+}
+
+func TestMomentsOnlyQuantileNaN(t *testing.T) {
+	s := NewMomentsOnly()
+	s.Add(1)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("quantile without retention should be NaN")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	s := NewStream()
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Error("empty stream should be all zero")
+	}
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+// Property: mean stays within [min, max] and matches direct computation.
+func TestStreamMeanProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := NewStream()
+		var sum float64
+		var clean []float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			clean = append(clean, x)
+			s.Add(x)
+			sum += x
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		want := sum / float64(len(clean))
+		if math.Abs(s.Mean()-want) > 1e-6*(1+math.Abs(want)) {
+			return false
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		s := NewStream()
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		qa := float64(a%101) / 100
+		qb := float64(b%101) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMatchesSorted(t *testing.T) {
+	s := NewStream()
+	data := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	for _, x := range data {
+		s.Add(x)
+	}
+	sort.Float64s(data)
+	if s.Quantile(0.5) != data[len(data)/2] {
+		t.Errorf("median = %v", s.Quantile(0.5))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(99)
+	for i, want := range []int{2, 2, 2, 2, 2} {
+		if h.Buckets[i] != want {
+			t.Errorf("bucket %d = %d", i, h.Buckets[i])
+		}
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("under/over = %d/%d", under, over)
+	}
+	if h.N() != 13 {
+		t.Errorf("n = %d", h.N())
+	}
+	if f := h.Fraction(0); math.Abs(f-2.0/13) > 1e-12 {
+		t.Errorf("fraction = %v", f)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0)
+	h.Add(1)
+	h.Add(1)
+	out := h.Render(20, func(i int) string { return string(rune('a' + i)) })
+	if !strings.Contains(out, "a") || !strings.Contains(out, "#") {
+		t.Errorf("render output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("lines = %d", len(lines))
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 22)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "22") {
+		t.Errorf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Errorf("lines = %d", len(lines))
+	}
+	// Columns aligned: header and rows share prefix width.
+	if len(lines[0]) == 0 || lines[1][0] != '-' {
+		t.Errorf("separator missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Row("x,y", `q"u`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""u"`) {
+		t.Errorf("csv = %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv header = %q", csv)
+	}
+}

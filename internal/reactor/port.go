@@ -1,0 +1,182 @@
+package reactor
+
+import (
+	"fmt"
+
+	"repro/internal/logical"
+)
+
+// PortKind distinguishes input from output ports.
+type PortKind int
+
+// Port kinds.
+const (
+	Input PortKind = iota
+	Output
+)
+
+// portBase carries the untyped bookkeeping shared by all Port[T].
+type portBase struct {
+	owner *Reactor
+	name  string
+	kind  PortKind
+
+	// reactions triggered when the port becomes present.
+	reactions []*Reaction
+	// readers are reactions that declared this port as a source (reads).
+	readers []*Reaction
+	// writers are reactions that declared this port as an effect.
+	writers []*Reaction
+	// upstream reports whether an inbound connection exists (at most one).
+	upstream bool
+
+	present   bool
+	presentAt logical.Tag
+}
+
+func (p *portBase) triggerName() string     { return p.owner.name + "." + p.name }
+func (p *portBase) effectName() string      { return p.triggerName() }
+func (p *portBase) sourceName() string      { return p.triggerName() }
+func (p *portBase) owningReactor() *Reactor { return p.owner }
+
+// connection is a typed edge between two ports (possibly delayed).
+type connection interface {
+	// propagate transfers the upstream value downstream at the current
+	// tag (zero delay) or schedules it (positive delay).
+	propagate(e *Environment)
+	downstreamBase() *portBase
+	delay() logical.Duration
+}
+
+// Port is a typed reactor port. Values set on an output port propagate
+// instantaneously (same tag) along zero-delay connections, or with a tag
+// offset along delayed connections.
+type Port[T any] struct {
+	portBase
+	value T
+	conns []*typedConnection[T]
+}
+
+// NewPort creates a port on reactor r.
+func NewPort[T any](r *Reactor, name string, kind PortKind) *Port[T] {
+	r.env.mustBeAssembling("NewPort")
+	p := &Port[T]{portBase: portBase{owner: r, name: name, kind: kind}}
+	r.env.ports = append(r.env.ports, &p.portBase)
+	return p
+}
+
+// NewInputPort creates an input port.
+func NewInputPort[T any](r *Reactor, name string) *Port[T] {
+	return NewPort[T](r, name, Input)
+}
+
+// NewOutputPort creates an output port.
+func NewOutputPort[T any](r *Reactor, name string) *Port[T] {
+	return NewPort[T](r, name, Output)
+}
+
+// attach implements Trigger.
+func (p *Port[T]) attach(rx *Reaction) { p.reactions = append(p.reactions, rx) }
+
+// declareWriter implements Effect.
+func (p *Port[T]) declareWriter(rx *Reaction) { p.writers = append(p.writers, rx) }
+
+// declareReader implements Source.
+func (p *Port[T]) declareReader(rx *Reaction) { p.readers = append(p.readers, rx) }
+
+// Kind returns the port kind.
+func (p *Port[T]) Kind() PortKind { return p.kind }
+
+// Name returns "reactor.port".
+func (p *Port[T]) Name() string { return p.triggerName() }
+
+// Get returns the port's value and presence at the current tag. The
+// calling reaction must have declared the port as a trigger or source.
+func (p *Port[T]) Get(c *Ctx) (T, bool) {
+	if !c.reaction.declaredReads[Source(p)] && !c.reaction.declaredReads[Trigger(p)] {
+		panic(fmt.Sprintf("reactor: %s reads undeclared port %s", c.reaction, p.Name()))
+	}
+	var zero T
+	if !p.present || p.presentAt != c.tag {
+		return zero, false
+	}
+	return p.value, true
+}
+
+// IsPresent reports presence at the current tag.
+func (p *Port[T]) IsPresent(c *Ctx) bool {
+	_, ok := p.Get(c)
+	return ok
+}
+
+// Set writes the port at the current tag and triggers downstream
+// reactions (same tag for zero-delay connections). The calling reaction
+// must have declared the port as an effect.
+func (p *Port[T]) Set(c *Ctx, v T) {
+	if !c.reaction.declaredEffects[Effect(p)] {
+		panic(fmt.Sprintf("reactor: %s sets undeclared port %s", c.reaction, p.Name()))
+	}
+	p.setNow(c.env, v)
+}
+
+// setNow performs the actual write at the environment's current tag.
+func (p *Port[T]) setNow(e *Environment, v T) {
+	p.value = v
+	p.present = true
+	p.presentAt = e.currentTag
+	e.markPortSet(&p.portBase)
+	for _, rx := range p.reactions {
+		e.enqueueReaction(rx)
+	}
+	for _, conn := range p.conns {
+		conn.propagate(e)
+	}
+}
+
+// typedConnection links an upstream port to a downstream port.
+type typedConnection[T any] struct {
+	up, down *Port[T]
+	d        logical.Duration
+}
+
+func (c *typedConnection[T]) downstreamBase() *portBase { return &c.down.portBase }
+func (c *typedConnection[T]) upstreamBase() *portBase   { return &c.up.portBase }
+func (c *typedConnection[T]) delay() logical.Duration   { return c.d }
+
+func (c *typedConnection[T]) propagate(e *Environment) {
+	if c.d == 0 {
+		c.down.setNow(e, c.up.value)
+		return
+	}
+	v := c.up.value
+	e.scheduleEvent(e.currentTag.Delay(c.d), func(env *Environment) {
+		c.down.setNow(env, v)
+	})
+}
+
+// Connect wires an upstream port to a downstream port with zero logical
+// delay: values appear downstream at the same tag.
+func Connect[T any](up, down *Port[T]) {
+	ConnectDelayed(up, down, 0)
+}
+
+// ConnectDelayed wires ports with a logical delay: a value set at tag g
+// appears downstream at g + delay (after semantics). Delayed connections
+// break precedence cycles.
+func ConnectDelayed[T any](up, down *Port[T], delay logical.Duration) {
+	env := up.owner.env
+	env.mustBeAssembling("Connect")
+	if down.owner.env != env {
+		panic("reactor: cannot connect ports of different environments")
+	}
+	if delay < 0 {
+		panic("reactor: negative connection delay")
+	}
+	if down.upstream {
+		panic(fmt.Sprintf("reactor: port %s already has an upstream connection", down.Name()))
+	}
+	down.upstream = true
+	conn := &typedConnection[T]{up: up, down: down, d: delay}
+	up.conns = append(up.conns, conn)
+	env.connections = append(env.connections, conn)
+}

@@ -1,0 +1,209 @@
+package reactor
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+)
+
+// randomProgram assembles a pseudo-random reactor pipeline from a spec:
+// a chain of nStages reactors connected by ports (some delayed), each
+// stage with a per-stage work duration, driven by a timer. It returns
+// the collected trace.
+type programSpec struct {
+	Stages   uint8
+	Delays   [6]uint16 // connection delays in µs (0 = zero-delay)
+	Period   uint16    // timer period in ms
+	WorkUS   [6]uint16 // per-stage DoWork in µs
+	Horizon  uint8     // timeout in timer periods
+	KernSeed uint64
+}
+
+func runRandomProgram(spec programSpec) ([]string, error) {
+	stages := int(spec.Stages%5) + 2 // 2..6
+	period := logical.Duration(int(spec.Period%40)+10) * logical.Millisecond
+	horizon := logical.Duration(int(spec.Horizon%6)+3) * period
+
+	k := des.NewKernel(spec.KernSeed)
+	var trace []string
+	var runErr error
+	k.Spawn("env", func(p *des.Process) {
+		env := NewEnvironment(Options{Clock: NewSimClock(p, nil), Timeout: horizon})
+		env.SetTraceHook(func(ev TraceEvent) { trace = append(trace, ev.String()) })
+
+		reactors := make([]*Reactor, stages)
+		inPorts := make([]*Port[int], stages)
+		outPorts := make([]*Port[int], stages)
+		for i := 0; i < stages; i++ {
+			reactors[i] = env.NewReactor(fmt.Sprintf("s%d", i))
+			inPorts[i] = NewInputPort[int](reactors[i], "in")
+			outPorts[i] = NewOutputPort[int](reactors[i], "out")
+		}
+		for i := 0; i+1 < stages; i++ {
+			d := logical.Duration(spec.Delays[i%len(spec.Delays)]%500) * logical.Microsecond
+			ConnectDelayed(outPorts[i], inPorts[i+1], d)
+		}
+		timer := NewTimer(reactors[0], "t", 0, period)
+		n := 0
+		reactors[0].AddReaction("emit").Triggers(timer).Effects(outPorts[0]).Do(func(c *Ctx) {
+			n++
+			outPorts[0].Set(c, n)
+		})
+		for i := 1; i < stages; i++ {
+			i := i
+			work := logical.Duration(spec.WorkUS[i%len(spec.WorkUS)]%800) * logical.Microsecond
+			rx := reactors[i].AddReaction("fwd").Triggers(inPorts[i])
+			if i+1 < stages {
+				rx.Effects(outPorts[i])
+			}
+			rx.Do(func(c *Ctx) {
+				v, _ := inPorts[i].Get(c)
+				if work > 0 {
+					c.DoWork(work)
+				}
+				if i+1 < stages {
+					outPorts[i].Set(c, v+1)
+				}
+			})
+		}
+		runErr = env.Run()
+	})
+	k.RunAll()
+	return trace, runErr
+}
+
+// Property: arbitrary pipeline programs run without error and produce
+// identical traces when re-run with the same spec.
+func TestRandomProgramsDeterministic(t *testing.T) {
+	f := func(spec programSpec) bool {
+		a, err := runRandomProgram(spec)
+		if err != nil {
+			t.Logf("spec %+v: %v", spec, err)
+			return false
+		}
+		b, err := runRandomProgram(spec)
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return len(a) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trace tags never regress — the scheduler processes events in
+// tag order regardless of program shape.
+func TestRandomProgramsTagsMonotone(t *testing.T) {
+	f := func(spec programSpec) bool {
+		k := des.NewKernel(spec.KernSeed)
+		_ = k
+		trace := []logical.Tag{}
+		stages := int(spec.Stages%5) + 2
+		period := logical.Duration(int(spec.Period%40)+10) * logical.Millisecond
+		horizon := logical.Duration(int(spec.Horizon%6)+3) * period
+
+		kk := des.NewKernel(spec.KernSeed)
+		var runErr error
+		kk.Spawn("env", func(p *des.Process) {
+			env := NewEnvironment(Options{Clock: NewSimClock(p, nil), Timeout: horizon})
+			env.SetTraceHook(func(ev TraceEvent) { trace = append(trace, ev.Tag) })
+			rs := make([]*Reactor, stages)
+			ins := make([]*Port[int], stages)
+			outs := make([]*Port[int], stages)
+			for i := range rs {
+				rs[i] = env.NewReactor(fmt.Sprintf("s%d", i))
+				ins[i] = NewInputPort[int](rs[i], "in")
+				outs[i] = NewOutputPort[int](rs[i], "out")
+			}
+			for i := 0; i+1 < stages; i++ {
+				d := logical.Duration(spec.Delays[i%len(spec.Delays)]%300) * logical.Microsecond
+				ConnectDelayed(outs[i], ins[i+1], d)
+			}
+			timer := NewTimer(rs[0], "t", 0, period)
+			rs[0].AddReaction("emit").Triggers(timer).Effects(outs[0]).Do(func(c *Ctx) {
+				outs[0].Set(c, 1)
+			})
+			for i := 1; i < stages; i++ {
+				i := i
+				rx := rs[i].AddReaction("fwd").Triggers(ins[i])
+				if i+1 < stages {
+					rx.Effects(outs[i])
+				}
+				rx.Do(func(c *Ctx) {
+					if i+1 < stages {
+						v, _ := ins[i].Get(c)
+						outs[i].Set(c, v)
+					}
+				})
+			}
+			runErr = env.Run()
+		})
+		kk.RunAll()
+		if runErr != nil {
+			return false
+		}
+		for i := 1; i < len(trace); i++ {
+			if trace[i].Before(trace[i-1]) {
+				t.Logf("tag regression at %d: %v after %v", i, trace[i], trace[i-1])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: physical action tags from an external process are strictly
+// increasing when scheduled at increasing physical times.
+func TestPhysicalActionTagsMonotoneProperty(t *testing.T) {
+	f := func(gaps [8]uint16, seed uint64) bool {
+		k := des.NewKernel(seed)
+		var tags []logical.Tag
+		var act *Action[int]
+		ready := make(chan struct{}, 1)
+		k.Spawn("env", func(p *des.Process) {
+			env := NewEnvironment(Options{Clock: NewSimClock(p, nil), KeepAlive: true, Timeout: logical.Second})
+			r := env.NewReactor("rx")
+			act = NewPhysicalAction[int](r, "a", 0)
+			r.AddReaction("recv").Triggers(act).Do(func(c *Ctx) {
+				tags = append(tags, c.Tag())
+			})
+			ready <- struct{}{}
+			_ = env.Run()
+		})
+		k.Spawn("driver", func(p *des.Process) {
+			<-ready
+			for i, g := range gaps {
+				p.Sleep(logical.Duration(int(g%2000)) * logical.Microsecond)
+				act.ScheduleAsync(i, 0)
+			}
+		})
+		k.RunAll()
+		if len(tags) != len(gaps) {
+			return false
+		}
+		for i := 1; i < len(tags); i++ {
+			if !tags[i-1].Before(tags[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

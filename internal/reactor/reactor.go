@@ -1,0 +1,253 @@
+// Package reactor implements the reactor model of computation introduced
+// by Lohstroh et al. and used by the paper as the foundation for
+// deterministic software components: reactors communicate through ports
+// connected by channels, computation happens in reactions triggered by
+// tagged events, and a runtime scheduler processes events in tag order,
+// exploiting parallelism permitted by the acyclic precedence graph while
+// preserving determinism.
+//
+// Logical actions schedule future events within a reactor; physical
+// actions inject events from asynchronous contexts (sensors, network
+// interrupts) and are the model's only sanctioned source of
+// nondeterminism. Reactions may carry deadlines that bind logical to
+// physical time and turn timing violations into observable errors.
+package reactor
+
+import (
+	"fmt"
+
+	"repro/internal/logical"
+)
+
+// Reactor is a named collection of reactions, ports, actions and timers.
+// Reactors are created on an Environment before it runs.
+type Reactor struct {
+	env   *Environment
+	name  string
+	index int // creation order, used for deterministic tie-breaking
+
+	reactions []*Reaction
+	startup   *startupTrigger
+	shutdown  *shutdownTrigger
+}
+
+// NewReactor creates a top-level reactor.
+func (e *Environment) NewReactor(name string) *Reactor {
+	e.mustBeAssembling("NewReactor")
+	r := &Reactor{env: e, name: name, index: len(e.reactors)}
+	r.startup = &startupTrigger{owner: r}
+	r.shutdown = &shutdownTrigger{owner: r}
+	e.reactors = append(e.reactors, r)
+	return r
+}
+
+// Name returns the reactor's name.
+func (r *Reactor) Name() string { return r.name }
+
+// Env returns the owning environment.
+func (r *Reactor) Env() *Environment { return r.env }
+
+// Startup returns the trigger that fires once at the start tag.
+func (r *Reactor) Startup() Trigger { return r.startup }
+
+// Shutdown returns the trigger that fires once at the stop tag.
+func (r *Reactor) Shutdown() Trigger { return r.shutdown }
+
+func (r *Reactor) String() string { return fmt.Sprintf("reactor(%s)", r.name) }
+
+// Trigger is anything that can trigger a reaction: ports, actions,
+// timers, startup and shutdown.
+type Trigger interface {
+	attach(rx *Reaction)
+	triggerName() string
+	owningReactor() *Reactor
+}
+
+// Effect is anything a reaction may affect: output ports it writes and
+// actions it schedules.
+type Effect interface {
+	declareWriter(rx *Reaction)
+	effectName() string
+}
+
+// Source is anything a reaction may read without being triggered by it
+// (a "use" dependency).
+type Source interface {
+	declareReader(rx *Reaction)
+	sourceName() string
+}
+
+type startupTrigger struct {
+	owner     *Reactor
+	reactions []*Reaction
+}
+
+func (s *startupTrigger) attach(rx *Reaction)     { s.reactions = append(s.reactions, rx) }
+func (s *startupTrigger) triggerName() string     { return s.owner.name + ".startup" }
+func (s *startupTrigger) owningReactor() *Reactor { return s.owner }
+
+type shutdownTrigger struct {
+	owner     *Reactor
+	reactions []*Reaction
+}
+
+func (s *shutdownTrigger) attach(rx *Reaction)     { s.reactions = append(s.reactions, rx) }
+func (s *shutdownTrigger) triggerName() string     { return s.owner.name + ".shutdown" }
+func (s *shutdownTrigger) owningReactor() *Reactor { return s.owner }
+
+// Reaction is a unit of computation triggered by events. Reactions of the
+// same reactor are mutually exclusive and execute in declaration order
+// when triggered at the same tag.
+type Reaction struct {
+	reactor *Reactor
+	index   int // priority within the reactor
+	name    string
+	body    func(*Ctx)
+
+	triggers []Trigger
+	sources  []Source
+	effects  []Effect
+
+	deadline        logical.Duration
+	deadlineHandler func(*Ctx)
+
+	// level in the acyclic precedence graph (set during assembly).
+	level int
+	// enqueuedAt dedupes triggering within one tag.
+	enqueuedAt logical.Tag
+	enqueued   bool
+
+	declaredEffects map[Effect]bool
+	declaredReads   map[any]bool
+
+	invocations        uint64
+	deadlineViolations uint64
+}
+
+// AddReaction declares a new reaction. Triggers, sources, effects, an
+// optional deadline and the body are attached with the builder methods;
+// the reaction is finalized by Do.
+func (r *Reactor) AddReaction(name string) *Reaction {
+	r.env.mustBeAssembling("AddReaction")
+	rx := &Reaction{
+		reactor:         r,
+		index:           len(r.reactions),
+		name:            name,
+		declaredEffects: map[Effect]bool{},
+		declaredReads:   map[any]bool{},
+	}
+	r.reactions = append(r.reactions, rx)
+	return rx
+}
+
+// Triggers declares the reaction's triggers.
+func (rx *Reaction) Triggers(ts ...Trigger) *Reaction {
+	rx.reactor.env.mustBeAssembling("Triggers")
+	for _, t := range ts {
+		rx.triggers = append(rx.triggers, t)
+		rx.declaredReads[t] = true
+		t.attach(rx)
+	}
+	return rx
+}
+
+// Reads declares sources the reaction reads without being triggered.
+func (rx *Reaction) Reads(ss ...Source) *Reaction {
+	rx.reactor.env.mustBeAssembling("Reads")
+	for _, s := range ss {
+		rx.sources = append(rx.sources, s)
+		rx.declaredReads[s] = true
+		s.declareReader(rx)
+	}
+	return rx
+}
+
+// Effects declares ports the reaction may set and actions it may
+// schedule. Setting an undeclared effect panics at run time, because the
+// precedence graph would be unsound.
+func (rx *Reaction) Effects(es ...Effect) *Reaction {
+	rx.reactor.env.mustBeAssembling("Effects")
+	for _, e := range es {
+		rx.effects = append(rx.effects, e)
+		rx.declaredEffects[e] = true
+		e.declareWriter(rx)
+	}
+	return rx
+}
+
+// WithDeadline attaches a deadline: if the reaction is invoked at tag t
+// but physical time already exceeds t+d, handler runs instead of the
+// body. This is the mechanism that makes timing violations observable
+// rather than silent.
+func (rx *Reaction) WithDeadline(d logical.Duration, handler func(*Ctx)) *Reaction {
+	rx.reactor.env.mustBeAssembling("WithDeadline")
+	if d <= 0 {
+		panic("reactor: deadline must be positive")
+	}
+	rx.deadline = d
+	rx.deadlineHandler = handler
+	return rx
+}
+
+// Do sets the reaction body and completes the declaration.
+func (rx *Reaction) Do(body func(*Ctx)) *Reaction {
+	rx.reactor.env.mustBeAssembling("Do")
+	rx.body = body
+	return rx
+}
+
+// Name returns "reactor.reaction".
+func (rx *Reaction) Name() string { return rx.reactor.name + "." + rx.name }
+
+// Level returns the reaction's level in the acyclic precedence graph
+// (valid after the environment started running).
+func (rx *Reaction) Level() int { return rx.level }
+
+// Invocations returns how many times the body (or deadline handler) ran.
+func (rx *Reaction) Invocations() uint64 { return rx.invocations }
+
+// DeadlineViolations returns how many invocations missed their deadline.
+func (rx *Reaction) DeadlineViolations() uint64 { return rx.deadlineViolations }
+
+func (rx *Reaction) String() string { return rx.Name() }
+
+// Ctx is passed to reaction bodies and deadline handlers.
+type Ctx struct {
+	env      *Environment
+	reaction *Reaction
+	tag      logical.Tag
+}
+
+// Tag returns the current logical tag.
+func (c *Ctx) Tag() logical.Tag { return c.tag }
+
+// LogicalTime returns the current logical time point.
+func (c *Ctx) LogicalTime() logical.Time { return c.tag.Time }
+
+// PhysicalTime returns the current physical time from the environment's
+// clock.
+func (c *Ctx) PhysicalTime() logical.Time { return c.env.clock.Now() }
+
+// Lag returns physical minus logical time.
+func (c *Ctx) Lag() logical.Duration {
+	return logical.Duration(c.PhysicalTime() - c.tag.Time)
+}
+
+// Elapsed returns logical time since the start tag.
+func (c *Ctx) Elapsed() logical.Duration {
+	return logical.Duration(c.tag.Time - c.env.startTime)
+}
+
+// DoWork consumes d of physical time (the reaction's computation),
+// leaving logical time untouched.
+func (c *Ctx) DoWork(d logical.Duration) { c.env.clock.Sleep(d) }
+
+// RequestStop asks the runtime to shut down at the next microstep. All
+// shutdown reactions will execute at that stop tag.
+func (c *Ctx) RequestStop() { c.env.requestStopAt(c.tag.Next()) }
+
+// Env returns the environment.
+func (c *Ctx) Env() *Environment { return c.env }
+
+// Reaction returns the currently executing reaction.
+func (c *Ctx) Reaction() *Reaction { return c.reaction }

@@ -1,0 +1,385 @@
+// Package simnet models the evaluation network of the paper: platforms
+// (the two MinnowBoard Turbot boards) connected through a store-and-forward
+// Ethernet switch, with configurable per-link latency and jitter.
+//
+// The model is intentionally at datagram granularity (SOME/IP runs over
+// UDP in the APD demonstrator). Each endpoint owns a mailbox of inbound
+// datagrams; delivery times are computed deterministically from seeded
+// randomness, so a given topology and seed always produces the same packet
+// schedule.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+)
+
+// Addr identifies an endpoint: a (host, port) pair. Hosts are small
+// integers assigned by the network; ports are chosen by the application
+// (mirroring UDP ports). Host values at or above MulticastBase denote
+// multicast groups.
+type Addr struct {
+	Host uint16
+	Port uint16
+}
+
+// MulticastBase is the first host number reserved for multicast groups.
+const MulticastBase uint16 = 0xFF00
+
+// IsMulticast reports whether the address denotes a multicast group.
+func (a Addr) IsMulticast() bool { return a.Host >= MulticastBase }
+
+func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Host, a.Port) }
+
+// Datagram is a routed message.
+type Datagram struct {
+	Src, Dst Addr
+	Payload  []byte
+	// SentAt is the global simulated time the datagram entered the network.
+	SentAt logical.Time
+}
+
+// LatencyModel computes the one-way latency for a packet of the given size.
+type LatencyModel interface {
+	Latency(size int) logical.Duration
+}
+
+// FixedLatency is a constant-latency model.
+type FixedLatency logical.Duration
+
+// Latency implements LatencyModel.
+func (f FixedLatency) Latency(int) logical.Duration { return logical.Duration(f) }
+
+// JitterLatency models base propagation delay plus per-byte serialization
+// cost plus truncated-Gaussian jitter. This is the model used for the
+// Figure 5 experiments: Ethernet-scale base latency with submillisecond
+// jitter.
+type JitterLatency struct {
+	Base logical.Duration
+	// PerByte is the serialization cost per payload byte (e.g. 8ns/byte
+	// for 1 Gbit/s).
+	PerByte logical.Duration
+	// Sigma is the standard deviation of the Gaussian jitter.
+	Sigma logical.Duration
+	// Max caps the total jitter (truncation); zero means 4*Sigma.
+	Max logical.Duration
+	Rng *des.Rand
+}
+
+// Latency implements LatencyModel.
+func (j *JitterLatency) Latency(size int) logical.Duration {
+	d := j.Base + logical.Duration(size)*j.PerByte
+	if j.Sigma > 0 && j.Rng != nil {
+		max := j.Max
+		if max == 0 {
+			max = 4 * j.Sigma
+		}
+		jit := logical.Duration(j.Rng.Norm(0, float64(j.Sigma)))
+		if jit < 0 {
+			jit = -jit
+		}
+		if jit > max {
+			jit = max
+		}
+		d += jit
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Network is a collection of hosts joined by a switch fabric.
+type Network struct {
+	k       *des.Kernel
+	hosts   map[uint16]*Host
+	nextKey uint16
+	// defaultModel is used for host pairs without an explicit link model.
+	defaultModel LatencyModel
+	links        map[[2]uint16]LatencyModel
+	// switchDelay models store-and-forward queuing through the switch for
+	// packets crossing hosts; zero for loopback traffic.
+	switchDelay logical.Duration
+	dropRate    float64
+	dropRng     *des.Rand
+	delivered   uint64
+	dropped     uint64
+	groups      map[Addr][]*Endpoint
+}
+
+// Config configures a Network.
+type Config struct {
+	// DefaultLatency applies to host pairs without a specific link model.
+	// If nil, FixedLatency(50µs) is used.
+	DefaultLatency LatencyModel
+	// SwitchDelay is added to every inter-host packet (store-and-forward).
+	SwitchDelay logical.Duration
+	// DropRate is the probability of silently losing an inter-host packet
+	// (the paper's AP stack gives no delivery guarantee; default 0).
+	DropRate float64
+}
+
+// NewNetwork creates a network on the kernel.
+func NewNetwork(k *des.Kernel, cfg Config) *Network {
+	model := cfg.DefaultLatency
+	if model == nil {
+		model = FixedLatency(50 * logical.Microsecond)
+	}
+	return &Network{
+		k:            k,
+		hosts:        map[uint16]*Host{},
+		defaultModel: model,
+		links:        map[[2]uint16]LatencyModel{},
+		switchDelay:  cfg.SwitchDelay,
+		dropRate:     cfg.DropRate,
+		dropRng:      k.Rand("simnet.drop"),
+		groups:       map[Addr][]*Endpoint{},
+	}
+}
+
+// JoinGroup subscribes the endpoint to a multicast group address. Packets
+// sent to the group are delivered to every member except the sender, in
+// join order.
+func (n *Network) JoinGroup(group Addr, e *Endpoint) {
+	if !group.IsMulticast() {
+		panic("simnet: JoinGroup on non-multicast address " + group.String())
+	}
+	for _, m := range n.groups[group] {
+		if m == e {
+			return
+		}
+	}
+	n.groups[group] = append(n.groups[group], e)
+}
+
+// LeaveGroup removes the endpoint from the group.
+func (n *Network) LeaveGroup(group Addr, e *Endpoint) {
+	members := n.groups[group]
+	for i, m := range members {
+		if m == e {
+			n.groups[group] = append(members[:i:i], members[i+1:]...)
+			return
+		}
+	}
+}
+
+// Kernel returns the simulation kernel.
+func (n *Network) Kernel() *des.Kernel { return n.k }
+
+// Delivered returns the number of datagrams delivered so far.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Dropped returns the number of datagrams dropped so far.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// SetLink installs a latency model for traffic between hosts a and b
+// (both directions).
+func (n *Network) SetLink(a, b uint16, m LatencyModel) {
+	n.links[linkKey(a, b)] = m
+}
+
+func linkKey(a, b uint16) [2]uint16 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]uint16{a, b}
+}
+
+// Host is a simulated platform attached to the network.
+type Host struct {
+	net   *Network
+	id    uint16
+	name  string
+	ports map[uint16]*Endpoint
+	// loopback is the intra-host delivery latency.
+	loopback LatencyModel
+	clock    *des.LocalClock
+}
+
+// AddHost attaches a new platform. The clock may be nil for hosts that
+// never read local time.
+func (n *Network) AddHost(name string, clock *des.LocalClock) *Host {
+	n.nextKey++
+	h := &Host{
+		net:      n,
+		id:       n.nextKey,
+		name:     name,
+		ports:    map[uint16]*Endpoint{},
+		loopback: FixedLatency(5 * logical.Microsecond),
+		clock:    clock,
+	}
+	n.hosts[h.id] = h
+	return h
+}
+
+// ID returns the host's network identifier.
+func (h *Host) ID() uint16 { return h.id }
+
+// Net returns the network the host is attached to.
+func (h *Host) Net() *Network { return h.net }
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Clock returns the host's local clock (may be nil).
+func (h *Host) Clock() *des.LocalClock { return h.clock }
+
+// SetLoopback overrides the intra-host delivery latency model.
+func (h *Host) SetLoopback(m LatencyModel) { h.loopback = m }
+
+// Endpoints returns the endpoints bound on this host in port order.
+func (h *Host) Endpoints() []*Endpoint {
+	eps := make([]*Endpoint, 0, len(h.ports))
+	for _, ep := range h.ports {
+		eps = append(eps, ep)
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].addr.Port < eps[j].addr.Port })
+	return eps
+}
+
+// Endpoint is a bound (host, port) able to send and receive datagrams.
+// Inbound datagrams are queued in a mailbox; a receiver callback may be
+// installed instead to consume them as kernel events.
+type Endpoint struct {
+	host *Host
+	addr Addr
+	mb   *des.Mailbox[Datagram]
+	// onRecv, when set, consumes datagrams instead of the mailbox.
+	onRecv func(Datagram)
+	closed bool
+}
+
+// Bind allocates an endpoint on the given port. Port 0 picks a free
+// ephemeral port (≥ 49152). Binding an in-use port is an error.
+func (h *Host) Bind(port uint16) (*Endpoint, error) {
+	if port == 0 {
+		port = 49152
+		for {
+			if _, used := h.ports[port]; !used {
+				break
+			}
+			if port == 65535 {
+				return nil, fmt.Errorf("simnet: host %s out of ephemeral ports", h.name)
+			}
+			port++
+		}
+	}
+	if _, used := h.ports[port]; used {
+		return nil, fmt.Errorf("simnet: port %d already bound on host %s", port, h.name)
+	}
+	ep := &Endpoint{
+		host: h,
+		addr: Addr{Host: h.id, Port: port},
+		mb:   des.NewMailbox[Datagram](h.net.k, fmt.Sprintf("%s:%d", h.name, port)),
+	}
+	h.ports[port] = ep
+	return ep, nil
+}
+
+// MustBind is Bind that panics on error, for wiring code in tests and
+// examples where the port plan is static.
+func (h *Host) MustBind(port uint16) *Endpoint {
+	ep, err := h.Bind(port)
+	if err != nil {
+		panic(err)
+	}
+	return ep
+}
+
+// Addr returns the endpoint's bound address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Host returns the owning host.
+func (e *Endpoint) Host() *Host { return e.host }
+
+// Close unbinds the endpoint; subsequent sends to it are dropped.
+func (e *Endpoint) Close() {
+	e.closed = true
+	delete(e.host.ports, e.addr.Port)
+}
+
+// OnReceive installs a callback that consumes inbound datagrams as kernel
+// events (at delivery time). Once installed, the mailbox is bypassed.
+// Must be installed before traffic arrives.
+func (e *Endpoint) OnReceive(fn func(Datagram)) { e.onRecv = fn }
+
+// Recv blocks the process until a datagram arrives (mailbox mode).
+func (e *Endpoint) Recv(p *des.Process) Datagram { return e.mb.Recv(p) }
+
+// RecvTimeout blocks until a datagram arrives or the timeout elapses.
+func (e *Endpoint) RecvTimeout(p *des.Process, d logical.Duration) (Datagram, bool) {
+	return e.mb.RecvTimeout(p, d)
+}
+
+// Pending returns the number of queued inbound datagrams (mailbox mode).
+func (e *Endpoint) Pending() int { return e.mb.Len() }
+
+// Send routes a datagram to dst. The payload is copied, so callers may
+// reuse their buffer. Sending to an unbound destination silently drops
+// (UDP semantics). Delivery happens after the link latency (plus switch
+// delay for inter-host traffic).
+func (e *Endpoint) Send(dst Addr, payload []byte) {
+	n := e.host.net
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	dg := Datagram{Src: e.addr, Dst: dst, Payload: buf, SentAt: n.k.Now()}
+
+	if dst.IsMulticast() {
+		for _, member := range n.groups[dst] {
+			if member == e {
+				continue
+			}
+			// Each member gets its own payload copy so receivers never
+			// alias one another's buffers.
+			mbuf := make([]byte, len(buf))
+			copy(mbuf, buf)
+			n.unicast(e, Datagram{
+				Src: e.addr, Dst: member.addr, Payload: mbuf, SentAt: dg.SentAt,
+			})
+		}
+		return
+	}
+	n.unicast(e, dg)
+}
+
+func (n *Network) unicast(e *Endpoint, dg Datagram) {
+	dst := dg.Dst
+	payload := dg.Payload
+	var lat logical.Duration
+	if dst.Host == e.addr.Host {
+		lat = e.host.loopback.Latency(len(payload))
+	} else {
+		model := n.defaultModel
+		if m, ok := n.links[linkKey(e.addr.Host, dst.Host)]; ok {
+			model = m
+		}
+		lat = model.Latency(len(payload)) + n.switchDelay
+		if n.dropRate > 0 && n.dropRng.Float64() < n.dropRate {
+			n.dropped++
+			return
+		}
+	}
+	n.k.After(lat, func() { n.deliver(dg) })
+}
+
+func (n *Network) deliver(dg Datagram) {
+	h, ok := n.hosts[dg.Dst.Host]
+	if !ok {
+		n.dropped++
+		return
+	}
+	ep, ok := h.ports[dg.Dst.Port]
+	if !ok || ep.closed {
+		n.dropped++
+		return
+	}
+	n.delivered++
+	if ep.onRecv != nil {
+		ep.onRecv(dg)
+		return
+	}
+	ep.mb.Put(dg)
+}

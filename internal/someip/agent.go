@@ -1,0 +1,416 @@
+package someip
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/simnet"
+)
+
+// ServiceKey identifies a service instance.
+type ServiceKey struct {
+	Service  ServiceID
+	Instance InstanceID
+}
+
+func (k ServiceKey) String() string {
+	return fmt.Sprintf("%04x.%04x", uint16(k.Service), uint16(k.Instance))
+}
+
+// RemoteService describes a discovered remote service instance.
+type RemoteService struct {
+	Key      ServiceKey
+	Major    uint8
+	Minor    uint32
+	Endpoint simnet.Addr // the service's application endpoint
+	SDAddr   simnet.Addr // the offering agent's SD endpoint
+}
+
+// SDGroup is the simulated stand-in for the SOME/IP-SD multicast address
+// (224.244.224.245:30490 in real deployments).
+var SDGroup = simnet.Addr{Host: simnet.MulticastBase + 1, Port: SDPort}
+
+// AgentConfig tunes SD timing.
+type AgentConfig struct {
+	// CyclicOfferPeriod between repeated offers (default 1s).
+	CyclicOfferPeriod logical.Duration
+	// TTL announced in offers and subscriptions (default 3s; SD wire
+	// granularity is seconds, rounded up).
+	TTL logical.Duration
+}
+
+// Agent implements the SOME/IP service-discovery state machine for one
+// application process: offering local services, discovering remote ones,
+// and managing eventgroup subscriptions in both roles.
+type Agent struct {
+	k       *des.Kernel
+	conn    *Conn
+	group   simnet.Addr
+	session SessionID
+	cfg     AgentConfig
+
+	offers  map[ServiceKey]*localOffer
+	remote  map[ServiceKey]*remoteEntry
+	watch   map[ServiceKey][]func(RemoteService)
+	pending map[subKey][]func(ok bool)
+	active  map[subKey]bool // client-side subscriptions to keep renewed
+
+	// onSubscribe notifies the skeleton layer of a new/renewed remote
+	// subscriber for (service, eventgroup).
+	onSubscribe func(key ServiceKey, eventgroup uint16, subscriber simnet.Addr)
+}
+
+type localOffer struct {
+	key      ServiceKey
+	major    uint8
+	minor    uint32
+	endpoint simnet.Addr
+	stopped  bool
+	subs     map[uint16][]*subscriber // eventgroup -> subscribers
+}
+
+type subscriber struct {
+	addr   simnet.Addr
+	expiry *des.Event
+}
+
+type remoteEntry struct {
+	svc    RemoteService
+	expiry *des.Event
+}
+
+type subKey struct {
+	key        ServiceKey
+	eventgroup uint16
+}
+
+// NewAgent creates an SD agent for an application on the given host. It
+// binds an SD endpoint and joins the SD multicast group.
+func NewAgent(host *simnet.Host, cfg AgentConfig) (*Agent, error) {
+	if cfg.CyclicOfferPeriod <= 0 {
+		cfg.CyclicOfferPeriod = logical.Second
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 3 * logical.Second
+	}
+	ep, err := host.Bind(0)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		k:       host.Net().Kernel(),
+		conn:    NewConn(ep, false),
+		group:   SDGroup,
+		cfg:     cfg,
+		offers:  map[ServiceKey]*localOffer{},
+		remote:  map[ServiceKey]*remoteEntry{},
+		watch:   map[ServiceKey][]func(RemoteService){},
+		pending: map[subKey][]func(ok bool){},
+		active:  map[subKey]bool{},
+	}
+	host.Net().JoinGroup(SDGroup, ep)
+	a.conn.OnMessage(a.handle)
+	return a, nil
+}
+
+// ttlSeconds converts the configured TTL to SD wire seconds (min 1).
+func (a *Agent) ttlSeconds() uint32 {
+	s := uint32(a.cfg.TTL / logical.Second)
+	if logical.Duration(s)*logical.Second < a.cfg.TTL || s == 0 {
+		s++
+	}
+	return s
+}
+
+// Addr returns the agent's SD endpoint address.
+func (a *Agent) Addr() simnet.Addr { return a.conn.Addr() }
+
+// OnSubscribe installs the server-side subscription callback.
+func (a *Agent) OnSubscribe(fn func(key ServiceKey, eventgroup uint16, subscriber simnet.Addr)) {
+	a.onSubscribe = fn
+}
+
+func (a *Agent) nextSession() SessionID {
+	a.session++
+	if a.session == 0 {
+		a.session = 1
+	}
+	return a.session
+}
+
+func (a *Agent) send(dst simnet.Addr, entries []Entry) {
+	a.conn.Send(dst, NewSDMessage(a.nextSession(), entries))
+}
+
+// Offer announces a local service instance and keeps re-announcing it
+// cyclically until StopOffer.
+func (a *Agent) Offer(key ServiceKey, major uint8, minor uint32, endpoint simnet.Addr) {
+	off := &localOffer{
+		key: key, major: major, minor: minor, endpoint: endpoint,
+		subs: map[uint16][]*subscriber{},
+	}
+	a.offers[key] = off
+	a.announce(off, a.group)
+	a.scheduleCyclic(off)
+}
+
+func (a *Agent) offerEntry(off *localOffer, ttl uint32) Entry {
+	return Entry{
+		Type: OfferService, Service: off.key.Service, Instance: off.key.Instance,
+		Major: off.major, Minor: off.minor, TTL: ttl,
+		Options: []Option{{Type: IPv4EndpointOption, Addr: off.endpoint, Proto: UDPProto}},
+	}
+}
+
+func (a *Agent) announce(off *localOffer, dst simnet.Addr) {
+	a.send(dst, []Entry{a.offerEntry(off, a.ttlSeconds())})
+}
+
+func (a *Agent) scheduleCyclic(off *localOffer) {
+	a.k.AfterDaemon(a.cfg.CyclicOfferPeriod, func() {
+		if off.stopped {
+			return
+		}
+		a.announce(off, a.group)
+		a.scheduleCyclic(off)
+	})
+}
+
+// StopOffer withdraws a local service (multicast offer with TTL 0).
+func (a *Agent) StopOffer(key ServiceKey) {
+	off, ok := a.offers[key]
+	if !ok {
+		return
+	}
+	off.stopped = true
+	delete(a.offers, key)
+	a.send(a.group, []Entry{a.offerEntry(off, 0)})
+}
+
+// Find starts discovery for a service instance. The callback fires (as a
+// kernel event) when the service is known — immediately if already
+// cached. It fires again on re-discovery after expiry.
+func (a *Agent) Find(key ServiceKey, cb func(RemoteService)) {
+	if r, ok := a.remote[key]; ok {
+		svc := r.svc
+		a.k.After(0, func() { cb(svc) })
+		return
+	}
+	a.watch[key] = append(a.watch[key], cb)
+	a.send(a.group, []Entry{{
+		Type: FindService, Service: key.Service, Instance: key.Instance,
+		Major: 0xff, Minor: 0xffffffff, TTL: a.ttlSeconds(),
+	}})
+}
+
+// Lookup returns the cached remote service, if discovered.
+func (a *Agent) Lookup(key ServiceKey) (RemoteService, bool) {
+	r, ok := a.remote[key]
+	if !ok {
+		return RemoteService{}, false
+	}
+	return r.svc, true
+}
+
+// Subscribe requests an eventgroup subscription from the (already
+// discovered) remote service, delivering notifications to notifyEndpoint.
+// ack fires with the subscription result. The subscription is renewed
+// cyclically until Unsubscribe.
+func (a *Agent) Subscribe(key ServiceKey, eventgroup uint16, notifyEndpoint simnet.Addr, ack func(ok bool)) {
+	r, ok := a.remote[key]
+	if !ok {
+		if ack != nil {
+			a.k.After(0, func() { ack(false) })
+		}
+		return
+	}
+	sk := subKey{key, eventgroup}
+	if ack != nil {
+		a.pending[sk] = append(a.pending[sk], ack)
+	}
+	a.active[sk] = true
+	a.send(r.svc.SDAddr, []Entry{{
+		Type: SubscribeEventgroup, Service: key.Service, Instance: key.Instance,
+		Major: r.svc.Major, TTL: a.ttlSeconds(), Eventgroup: eventgroup,
+		Options: []Option{{Type: IPv4EndpointOption, Addr: notifyEndpoint, Proto: UDPProto}},
+	}})
+	// Renew at 2/3 of the TTL while the subscription stays active.
+	a.k.AfterDaemon(a.cfg.TTL*2/3, func() {
+		if _, still := a.remote[key]; still && a.active[sk] {
+			a.Subscribe(key, eventgroup, notifyEndpoint, nil)
+		}
+	})
+}
+
+// Unsubscribe withdraws an eventgroup subscription.
+func (a *Agent) Unsubscribe(key ServiceKey, eventgroup uint16, notifyEndpoint simnet.Addr) {
+	delete(a.active, subKey{key, eventgroup})
+	r, ok := a.remote[key]
+	if !ok {
+		return
+	}
+	a.send(r.svc.SDAddr, []Entry{{
+		Type: SubscribeEventgroup, Service: key.Service, Instance: key.Instance,
+		Major: r.svc.Major, TTL: 0, Eventgroup: eventgroup,
+		Options: []Option{{Type: IPv4EndpointOption, Addr: notifyEndpoint, Proto: UDPProto}},
+	}})
+}
+
+// Subscribers returns the current subscriber endpoints for a local
+// service's eventgroup, in subscription order.
+func (a *Agent) Subscribers(key ServiceKey, eventgroup uint16) []simnet.Addr {
+	off, ok := a.offers[key]
+	if !ok {
+		return nil
+	}
+	subs := off.subs[eventgroup]
+	addrs := make([]simnet.Addr, len(subs))
+	for i, s := range subs {
+		addrs[i] = s.addr
+	}
+	return addrs
+}
+
+func (a *Agent) handle(src simnet.Addr, m *Message) {
+	if !m.IsSD() {
+		return
+	}
+	entries, err := UnmarshalSD(m.Payload)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		switch e.Type {
+		case FindService:
+			a.handleFind(src, e)
+		case OfferService:
+			a.handleOffer(src, e)
+		case SubscribeEventgroup:
+			a.handleSubscribe(src, e)
+		case SubscribeEventgroupAck:
+			a.handleSubscribeAck(e)
+		}
+	}
+}
+
+func (a *Agent) handleFind(src simnet.Addr, e Entry) {
+	key := ServiceKey{e.Service, e.Instance}
+	if off, ok := a.offers[key]; ok {
+		// Unicast offer straight back to the requester.
+		a.announce(off, src)
+	}
+}
+
+func (a *Agent) handleOffer(src simnet.Addr, e Entry) {
+	key := ServiceKey{e.Service, e.Instance}
+	if e.TTL == 0 {
+		if r, ok := a.remote[key]; ok {
+			if r.expiry != nil {
+				r.expiry.Cancel()
+			}
+			delete(a.remote, key)
+		}
+		return
+	}
+	if len(e.Options) == 0 || e.Options[0].Type != IPv4EndpointOption {
+		return
+	}
+	svc := RemoteService{
+		Key: key, Major: e.Major, Minor: e.Minor,
+		Endpoint: e.Options[0].Addr, SDAddr: src,
+	}
+	r, existed := a.remote[key]
+	if existed && r.expiry != nil {
+		r.expiry.Cancel()
+	}
+	entry := &remoteEntry{svc: svc}
+	ttl := logical.Duration(e.TTL) * logical.Second
+	entry.expiry = a.k.AfterDaemon(ttl, func() { delete(a.remote, key) })
+	a.remote[key] = entry
+	if ws := a.watch[key]; len(ws) > 0 {
+		delete(a.watch, key)
+		for _, w := range ws {
+			w(svc)
+		}
+	}
+}
+
+func (a *Agent) handleSubscribe(src simnet.Addr, e Entry) {
+	key := ServiceKey{e.Service, e.Instance}
+	off, ok := a.offers[key]
+	if len(e.Options) == 0 || e.Options[0].Type != IPv4EndpointOption {
+		return
+	}
+	subAddr := e.Options[0].Addr
+	if !ok {
+		// NACK: ack entry with TTL 0.
+		a.send(src, []Entry{{
+			Type: SubscribeEventgroupAck, Service: e.Service, Instance: e.Instance,
+			Major: e.Major, TTL: 0, Eventgroup: e.Eventgroup,
+		}})
+		return
+	}
+	if e.TTL == 0 { // unsubscribe
+		subs := off.subs[e.Eventgroup]
+		for i, s := range subs {
+			if s.addr == subAddr {
+				if s.expiry != nil {
+					s.expiry.Cancel()
+				}
+				off.subs[e.Eventgroup] = append(subs[:i:i], subs[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	ttl := logical.Duration(e.TTL) * logical.Second
+	found := false
+	for _, s := range off.subs[e.Eventgroup] {
+		if s.addr == subAddr {
+			if s.expiry != nil {
+				s.expiry.Cancel()
+			}
+			s.expiry = a.expireSub(off, e.Eventgroup, subAddr, ttl)
+			found = true
+			break
+		}
+	}
+	if !found {
+		s := &subscriber{addr: subAddr}
+		s.expiry = a.expireSub(off, e.Eventgroup, subAddr, ttl)
+		off.subs[e.Eventgroup] = append(off.subs[e.Eventgroup], s)
+	}
+	a.send(src, []Entry{{
+		Type: SubscribeEventgroupAck, Service: e.Service, Instance: e.Instance,
+		Major: e.Major, TTL: e.TTL, Eventgroup: e.Eventgroup,
+	}})
+	if a.onSubscribe != nil {
+		a.onSubscribe(key, e.Eventgroup, subAddr)
+	}
+}
+
+func (a *Agent) expireSub(off *localOffer, eventgroup uint16, addr simnet.Addr, ttl logical.Duration) *des.Event {
+	return a.k.AfterDaemon(ttl, func() {
+		subs := off.subs[eventgroup]
+		for i, s := range subs {
+			if s.addr == addr {
+				off.subs[eventgroup] = append(subs[:i:i], subs[i+1:]...)
+				return
+			}
+		}
+	})
+}
+
+func (a *Agent) handleSubscribeAck(e Entry) {
+	sk := subKey{ServiceKey{e.Service, e.Instance}, e.Eventgroup}
+	cbs := a.pending[sk]
+	if len(cbs) == 0 {
+		return
+	}
+	delete(a.pending, sk)
+	ok := e.TTL > 0
+	for _, cb := range cbs {
+		cb(ok)
+	}
+}

@@ -1,0 +1,297 @@
+package someip
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/simnet"
+)
+
+type sdFixture struct {
+	k      *des.Kernel
+	net    *simnet.Network
+	h1, h2 *simnet.Host
+	a1, a2 *Agent
+}
+
+func newSDFixture(t *testing.T) *sdFixture {
+	t.Helper()
+	k := des.NewKernel(1)
+	n := simnet.NewNetwork(k, simnet.Config{})
+	h1 := n.AddHost("p1", nil)
+	h2 := n.AddHost("p2", nil)
+	a1, err := NewAgent(h1, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAgent(h2, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sdFixture{k: k, net: n, h1: h1, h2: h2, a1: a1, a2: a2}
+}
+
+var testKey = ServiceKey{Service: 0x1234, Instance: 1}
+
+func TestFindBeforeOffer(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+
+	var found *RemoteService
+	f.k.At(0, func() {
+		f.a2.Find(testKey, func(svc RemoteService) { found = &svc })
+	})
+	f.k.At(logical.Time(10*logical.Millisecond), func() {
+		f.a1.Offer(testKey, 1, 0, appEp.Addr())
+	})
+	f.k.Run(logical.Time(logical.Second))
+	if found == nil {
+		t.Fatal("service not discovered")
+	}
+	if found.Endpoint != appEp.Addr() {
+		t.Errorf("endpoint = %v, want %v", found.Endpoint, appEp.Addr())
+	}
+	if found.Key != testKey {
+		t.Errorf("key = %v", found.Key)
+	}
+}
+
+func TestFindAfterOfferUsesUnicastReply(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+
+	var found *RemoteService
+	// Find starts long after the initial offer multicast; discovery must
+	// still succeed via the unicast offer reply to FIND (not only via the
+	// next cyclic offer).
+	f.k.At(logical.Time(10*logical.Millisecond), func() {
+		f.a2.Find(testKey, func(svc RemoteService) { found = &svc })
+	})
+	f.k.Run(logical.Time(100 * logical.Millisecond)) // < cyclic period
+	if found == nil {
+		t.Fatal("service not discovered via find")
+	}
+}
+
+func TestFindCachedFiresImmediately(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	f.k.Run(logical.Time(10 * logical.Millisecond))
+
+	calls := 0
+	f.k.At(f.k.Now(), func() {
+		f.a2.Find(testKey, func(RemoteService) { calls++ })
+	})
+	f.k.Run(logical.Time(11 * logical.Millisecond))
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (cached)", calls)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	if _, ok := f.a2.Lookup(testKey); ok {
+		t.Error("lookup before offer should miss")
+	}
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	f.k.Run(logical.Time(10 * logical.Millisecond))
+	svc, ok := f.a2.Lookup(testKey)
+	if !ok || svc.Endpoint != appEp.Addr() {
+		t.Errorf("lookup = %+v, %v", svc, ok)
+	}
+}
+
+func TestStopOfferRemovesRemote(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	f.k.Run(logical.Time(10 * logical.Millisecond))
+	if _, ok := f.a2.Lookup(testKey); !ok {
+		t.Fatal("not discovered")
+	}
+	f.k.At(f.k.Now(), func() { f.a1.StopOffer(testKey) })
+	f.k.Run(logical.Time(20 * logical.Millisecond))
+	if _, ok := f.a2.Lookup(testKey); ok {
+		t.Error("stop-offer did not remove remote entry")
+	}
+}
+
+func TestOfferExpiresWithoutRenewal(t *testing.T) {
+	k := des.NewKernel(1)
+	n := simnet.NewNetwork(k, simnet.Config{})
+	h1 := n.AddHost("p1", nil)
+	h2 := n.AddHost("p2", nil)
+	// Long cyclic period so the offer is never renewed within TTL.
+	a1, _ := NewAgent(h1, AgentConfig{CyclicOfferPeriod: 100 * logical.Second, TTL: logical.Second})
+	a2, _ := NewAgent(h2, AgentConfig{})
+	appEp := h1.MustBind(40000)
+	k.At(0, func() { a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	k.Run(logical.Time(10 * logical.Millisecond))
+	if _, ok := a2.Lookup(testKey); !ok {
+		t.Fatal("not discovered")
+	}
+	// Advance past the TTL; run a dummy event so daemon expiry fires.
+	k.At(logical.Time(3*logical.Second), func() {})
+	k.Run(logical.Time(3 * logical.Second))
+	if _, ok := a2.Lookup(testKey); ok {
+		t.Error("offer did not expire")
+	}
+}
+
+func TestCyclicOfferKeepsAlive(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	// Probe at 5s: default TTL 3s, cyclic 1s — must still be known.
+	probed := false
+	f.k.At(logical.Time(5*logical.Second), func() {
+		if _, ok := f.a2.Lookup(testKey); !ok {
+			t.Error("offer expired despite cyclic renewal")
+		}
+		probed = true
+	})
+	f.k.Run(logical.Time(6 * logical.Second))
+	if !probed {
+		t.Fatal("probe event did not run")
+	}
+}
+
+func TestSubscribeAndNotifySubscribers(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	notifyEp := f.h2.MustBind(41000)
+	const eg = 0x10
+
+	var gotSub []simnet.Addr
+	f.a1.OnSubscribe(func(key ServiceKey, eventgroup uint16, sub simnet.Addr) {
+		if key == testKey && eventgroup == eg {
+			gotSub = append(gotSub, sub)
+		}
+	})
+
+	var acked *bool
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	f.k.At(logical.Time(5*logical.Millisecond), func() {
+		f.a2.Find(testKey, func(RemoteService) {
+			f.a2.Subscribe(testKey, eg, notifyEp.Addr(), func(ok bool) { acked = &ok })
+		})
+	})
+	f.k.Run(logical.Time(100 * logical.Millisecond))
+
+	if acked == nil || !*acked {
+		t.Fatal("subscription not acked")
+	}
+	if len(gotSub) == 0 || gotSub[0] != notifyEp.Addr() {
+		t.Fatalf("server saw subscribers %v", gotSub)
+	}
+	subs := f.a1.Subscribers(testKey, eg)
+	if len(subs) != 1 || subs[0] != notifyEp.Addr() {
+		t.Errorf("Subscribers = %v", subs)
+	}
+}
+
+func TestSubscribeUnknownServiceNacked(t *testing.T) {
+	f := newSDFixture(t)
+	notifyEp := f.h2.MustBind(41000)
+	var acked *bool
+	f.k.At(0, func() {
+		f.a2.Subscribe(testKey, 1, notifyEp.Addr(), func(ok bool) { acked = &ok })
+	})
+	f.k.Run(logical.Time(100 * logical.Millisecond))
+	if acked == nil {
+		t.Fatal("no ack callback")
+	}
+	if *acked {
+		t.Error("subscribe to unknown service must fail")
+	}
+}
+
+func TestSubscribeNackedWhenOfferWithdrawn(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	notifyEp := f.h2.MustBind(41000)
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	f.k.Run(logical.Time(10 * logical.Millisecond))
+	// Withdraw on the server but subscribe using a2's still-fresh cache
+	// before the stop-offer propagates.
+	var acked *bool
+	f.k.At(f.k.Now(), func() {
+		f.a1.StopOffer(testKey)
+		f.a2.Subscribe(testKey, 1, notifyEp.Addr(), func(ok bool) { acked = &ok })
+	})
+	f.k.Run(logical.Time(200 * logical.Millisecond))
+	if acked == nil || *acked {
+		t.Error("subscription should be nacked after stop-offer")
+	}
+}
+
+func TestUnsubscribeRemovesSubscriber(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	notifyEp := f.h2.MustBind(41000)
+	const eg = 0x10
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	f.k.At(logical.Time(5*logical.Millisecond), func() {
+		f.a2.Find(testKey, func(RemoteService) {
+			f.a2.Subscribe(testKey, eg, notifyEp.Addr(), nil)
+		})
+	})
+	f.k.Run(logical.Time(50 * logical.Millisecond))
+	if len(f.a1.Subscribers(testKey, eg)) != 1 {
+		t.Fatal("not subscribed")
+	}
+	f.k.At(f.k.Now(), func() { f.a2.Unsubscribe(testKey, eg, notifyEp.Addr()) })
+	f.k.Run(logical.Time(100 * logical.Millisecond))
+	if len(f.a1.Subscribers(testKey, eg)) != 0 {
+		t.Error("unsubscribe did not remove subscriber")
+	}
+}
+
+func TestSubscriptionRenewalKeepsSubscriberAlive(t *testing.T) {
+	f := newSDFixture(t)
+	appEp := f.h1.MustBind(40000)
+	notifyEp := f.h2.MustBind(41000)
+	const eg = 0x10
+	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
+	f.k.At(logical.Time(5*logical.Millisecond), func() {
+		f.a2.Find(testKey, func(RemoteService) {
+			f.a2.Subscribe(testKey, eg, notifyEp.Addr(), nil)
+		})
+	})
+	// Probe well past the 3s TTL.
+	probed := false
+	f.k.At(logical.Time(8*logical.Second), func() {
+		if len(f.a1.Subscribers(testKey, eg)) != 1 {
+			t.Error("subscription expired despite renewal")
+		}
+		probed = true
+	})
+	f.k.Run(logical.Time(9 * logical.Second))
+	if !probed {
+		t.Fatal("probe did not run")
+	}
+}
+
+func TestTwoServicesIndependent(t *testing.T) {
+	f := newSDFixture(t)
+	ep1 := f.h1.MustBind(40000)
+	ep2 := f.h1.MustBind(40001)
+	key2 := ServiceKey{Service: 0x5678, Instance: 1}
+	f.k.At(0, func() {
+		f.a1.Offer(testKey, 1, 0, ep1.Addr())
+		f.a1.Offer(key2, 1, 0, ep2.Addr())
+	})
+	f.k.Run(logical.Time(10 * logical.Millisecond))
+	s1, ok1 := f.a2.Lookup(testKey)
+	s2, ok2 := f.a2.Lookup(key2)
+	if !ok1 || !ok2 {
+		t.Fatal("not both discovered")
+	}
+	if s1.Endpoint == s2.Endpoint {
+		t.Error("endpoints must differ")
+	}
+}

@@ -1,0 +1,116 @@
+package someip
+
+import (
+	"repro/internal/simnet"
+)
+
+// Conn is a SOME/IP binding over a simulated network endpoint. It
+// marshals outbound messages and decodes inbound datagrams, dispatching
+// them to the registered handler. A Conn in tagged mode is the paper's
+// "modified SOME/IP binding": it appends the DEAR tag trailer to outgoing
+// messages that carry a tag and strips/exposes trailers on reception.
+// An untagged Conn is a standards-conformant binding that treats trailers
+// as opaque payload bytes.
+type Conn struct {
+	ep     *simnet.Endpoint
+	tagged bool
+	mtu    int
+	reasm  *Reassembler
+	onMsg  func(src simnet.Addr, m *Message)
+	onErr  func(src simnet.Addr, err error)
+
+	sent      uint64
+	received  uint64
+	decodeErr uint64
+}
+
+// NewConn creates a binding over the endpoint. When tagged is true the
+// binding understands the DEAR tag trailer.
+func NewConn(ep *simnet.Endpoint, tagged bool) *Conn {
+	return NewConnMTU(ep, tagged, 0)
+}
+
+// NewConnMTU creates a binding with SOME/IP-TP segmentation: messages
+// whose wire size exceeds mtu are split into TP segments and reassembled
+// at the receiver. mtu 0 disables segmentation.
+func NewConnMTU(ep *simnet.Endpoint, tagged bool, mtu int) *Conn {
+	c := &Conn{ep: ep, tagged: tagged, mtu: mtu, reasm: NewReassembler(0)}
+	ep.OnReceive(c.receive)
+	return c
+}
+
+// Addr returns the bound address.
+func (c *Conn) Addr() simnet.Addr { return c.ep.Addr() }
+
+// Endpoint returns the underlying network endpoint.
+func (c *Conn) Endpoint() *simnet.Endpoint { return c.ep }
+
+// Tagged reports whether the binding understands tag trailers.
+func (c *Conn) Tagged() bool { return c.tagged }
+
+// Stats returns (messages sent, messages received, decode errors).
+func (c *Conn) Stats() (sent, received, decodeErrors uint64) {
+	return c.sent, c.received, c.decodeErr
+}
+
+// OnMessage installs the inbound message handler. It runs as a kernel
+// event at delivery time.
+func (c *Conn) OnMessage(fn func(src simnet.Addr, m *Message)) { c.onMsg = fn }
+
+// OnError installs a handler for inbound decode errors (default: drop).
+func (c *Conn) OnError(fn func(src simnet.Addr, err error)) { c.onErr = fn }
+
+// Send marshals and transmits the message, segmenting via SOME/IP-TP
+// when an MTU is configured. In an untagged binding any Tag on the
+// message is ignored (a standard binding has no way to transmit it) —
+// this models composing DEAR components with unmodified middleware.
+func (c *Conn) Send(dst simnet.Addr, m *Message) {
+	if !c.tagged && m.Tag != nil {
+		clone := *m
+		clone.Tag = nil
+		m = &clone
+	}
+	msgs := []*Message{m}
+	if c.mtu > 0 {
+		var err error
+		msgs, err = Segment(m, c.mtu)
+		if err != nil {
+			c.decodeErr++
+			if c.onErr != nil {
+				c.onErr(dst, err)
+			}
+			return
+		}
+	}
+	for _, seg := range msgs {
+		c.sent++
+		c.ep.Send(dst, seg.Marshal())
+	}
+}
+
+func (c *Conn) receive(dg simnet.Datagram) {
+	var m *Message
+	var err error
+	if c.tagged {
+		m, err = UnmarshalTagged(dg.Payload)
+	} else {
+		m, err = Unmarshal(dg.Payload)
+	}
+	if err == nil && m.Type&TPFlag != 0 {
+		m, err = c.reasm.Feed(m, c.ep.Host().Net().Kernel().Now())
+		if m == nil && err == nil {
+			return // segment buffered, reassembly incomplete
+		}
+	}
+	if err != nil {
+		c.decodeErr++
+		if c.onErr != nil {
+			c.onErr(dg.Src, err)
+		}
+		return
+	}
+	c.received++
+	if c.onMsg != nil {
+		c.onMsg(dg.Src, m)
+	}
+}

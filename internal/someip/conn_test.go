@@ -1,0 +1,137 @@
+package someip
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/simnet"
+)
+
+func connPair(t *testing.T, tagged bool, mtu int) (*des.Kernel, *Conn, *Conn) {
+	t.Helper()
+	k := des.NewKernel(1)
+	n := simnet.NewNetwork(k, simnet.Config{})
+	h1 := n.AddHost("a", nil)
+	h2 := n.AddHost("b", nil)
+	a := NewConnMTU(h1.MustBind(1000), tagged, mtu)
+	b := NewConnMTU(h2.MustBind(2000), tagged, mtu)
+	return k, a, b
+}
+
+func TestConnRoundTrip(t *testing.T) {
+	k, a, b := connPair(t, false, 0)
+	var got *Message
+	b.OnMessage(func(src simnet.Addr, m *Message) { got = m })
+	m := &Message{Service: 1, Method: 2, Type: TypeRequest, Payload: []byte("hi")}
+	k.At(0, func() { a.Send(b.Addr(), m) })
+	k.RunAll()
+	if got == nil || !bytes.Equal(got.Payload, []byte("hi")) {
+		t.Fatalf("got %v", got)
+	}
+	sent, _, _ := a.Stats()
+	_, received, _ := b.Stats()
+	if sent != 1 || received != 1 {
+		t.Errorf("stats: sent=%d received=%d", sent, received)
+	}
+}
+
+func TestConnTaggedCarriesTag(t *testing.T) {
+	k, a, b := connPair(t, true, 0)
+	var got *Message
+	b.OnMessage(func(src simnet.Addr, m *Message) { got = m })
+	tag := logical.Tag{Time: 7, Microstep: 1}
+	k.At(0, func() {
+		a.Send(b.Addr(), &Message{Service: 1, Method: 2, Type: TypeNotification, Tag: &tag})
+	})
+	k.RunAll()
+	if got == nil || got.Tag == nil || *got.Tag != tag {
+		t.Fatalf("tag = %v", got)
+	}
+}
+
+func TestConnUntaggedStripsTag(t *testing.T) {
+	k, a, b := connPair(t, false, 0)
+	var got *Message
+	b.OnMessage(func(src simnet.Addr, m *Message) { got = m })
+	tag := logical.Tag{Time: 7}
+	k.At(0, func() {
+		a.Send(b.Addr(), &Message{Service: 1, Method: 2, Type: TypeNotification, Payload: []byte("z"), Tag: &tag})
+	})
+	k.RunAll()
+	if got == nil {
+		t.Fatal("nothing received")
+	}
+	if got.Tag != nil {
+		t.Error("untagged binding leaked a tag")
+	}
+	if !bytes.Equal(got.Payload, []byte("z")) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestConnSegmentsOverMTU(t *testing.T) {
+	k, a, b := connPair(t, true, 1400)
+	var got *Message
+	b.OnMessage(func(src simnet.Addr, m *Message) { got = m })
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	tag := logical.Tag{Time: 11, Microstep: 2}
+	k.At(0, func() {
+		a.Send(b.Addr(), &Message{Service: 1, Method: EventID(1), Type: TypeNotification, Payload: payload, Tag: &tag})
+	})
+	k.RunAll()
+	if got == nil {
+		t.Fatal("not reassembled")
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Error("payload corrupted")
+	}
+	if got.Tag == nil || *got.Tag != tag {
+		t.Errorf("tag = %v", got.Tag)
+	}
+	sent, _, _ := a.Stats()
+	if sent < 4 {
+		t.Errorf("sent = %d, expected multiple segments", sent)
+	}
+	if got.Type&TPFlag != 0 {
+		t.Error("TP flag leaked to consumer")
+	}
+}
+
+func TestConnSmallMessageUnsegmented(t *testing.T) {
+	k, a, b := connPair(t, true, 1400)
+	count := 0
+	b.OnMessage(func(src simnet.Addr, m *Message) { count++ })
+	k.At(0, func() {
+		a.Send(b.Addr(), &Message{Service: 1, Method: 2, Type: TypeRequest, Payload: []byte("s")})
+	})
+	k.RunAll()
+	sent, _, _ := a.Stats()
+	if sent != 1 || count != 1 {
+		t.Errorf("sent=%d received=%d", sent, count)
+	}
+}
+
+func TestConnDecodeErrorSurfaces(t *testing.T) {
+	k := des.NewKernel(1)
+	n := simnet.NewNetwork(k, simnet.Config{})
+	h1 := n.AddHost("a", nil)
+	h2 := n.AddHost("b", nil)
+	raw := h1.MustBind(1)
+	conn := NewConn(h2.MustBind(2), false)
+	var gotErr error
+	conn.OnError(func(src simnet.Addr, err error) { gotErr = err })
+	k.At(0, func() { raw.Send(conn.Addr(), []byte{1, 2, 3}) })
+	k.RunAll()
+	if gotErr == nil {
+		t.Error("decode error not surfaced")
+	}
+	_, _, decodeErrs := conn.Stats()
+	if decodeErrs != 1 {
+		t.Errorf("decode errors = %d", decodeErrs)
+	}
+}

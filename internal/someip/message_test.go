@@ -1,0 +1,259 @@
+package someip
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logical"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Service:          0x1234,
+		Method:           0x0042,
+		Client:           0x0007,
+		Session:          0x0100,
+		InterfaceVersion: 2,
+		Type:             TypeRequest,
+		Code:             EOK,
+		Payload:          []byte{1, 2, 3, 4, 5},
+	}
+}
+
+func TestMarshalHeaderLayout(t *testing.T) {
+	m := sampleMessage()
+	buf := m.Marshal()
+	if len(buf) != HeaderSize+5 {
+		t.Fatalf("wire size = %d", len(buf))
+	}
+	// Message ID: 0x1234_0042.
+	if !bytes.Equal(buf[0:4], []byte{0x12, 0x34, 0x00, 0x42}) {
+		t.Errorf("message id = % x", buf[0:4])
+	}
+	// Length covers request id .. payload = 8 + 5.
+	if !bytes.Equal(buf[4:8], []byte{0, 0, 0, 13}) {
+		t.Errorf("length = % x", buf[4:8])
+	}
+	// Request ID: 0x0007_0100.
+	if !bytes.Equal(buf[8:12], []byte{0x00, 0x07, 0x01, 0x00}) {
+		t.Errorf("request id = % x", buf[8:12])
+	}
+	if buf[12] != 0x01 || buf[13] != 2 || buf[14] != 0x00 || buf[15] != 0x00 {
+		t.Errorf("versions/type/code = % x", buf[12:16])
+	}
+	if !bytes.Equal(buf[16:], []byte{1, 2, 3, 4, 5}) {
+		t.Errorf("payload = % x", buf[16:])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Service != m.Service || got.Method != m.Method ||
+		got.Client != m.Client || got.Session != m.Session ||
+		got.InterfaceVersion != m.InterfaceVersion ||
+		got.Type != m.Type || got.Code != m.Code ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestRoundTripEmptyPayload(t *testing.T) {
+	m := &Message{Service: 1, Method: 2, Type: TypeResponse, Code: EOK}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Errorf("payload = % x", got.Payload)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("want error for short buffer")
+	}
+}
+
+func TestUnmarshalLengthMismatch(t *testing.T) {
+	buf := sampleMessage().Marshal()
+	buf[7] = 99 // corrupt length
+	if _, err := Unmarshal(buf); err == nil {
+		t.Error("want length mismatch error")
+	}
+}
+
+func TestUnmarshalBadProtocolVersion(t *testing.T) {
+	buf := sampleMessage().Marshal()
+	buf[12] = 0x02
+	if _, err := Unmarshal(buf); err == nil {
+		t.Error("want protocol version error")
+	}
+}
+
+func TestTaggedRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	m.Tag = &logical.Tag{Time: 123456789, Microstep: 7}
+	buf := m.Marshal()
+	if len(buf) != HeaderSize+5+TagTrailerSize {
+		t.Fatalf("wire size = %d", len(buf))
+	}
+	got, err := UnmarshalTagged(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag == nil {
+		t.Fatal("tag lost")
+	}
+	if *got.Tag != *m.Tag {
+		t.Errorf("tag = %v, want %v", got.Tag, m.Tag)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("payload = % x", got.Payload)
+	}
+}
+
+func TestUntaggedReceiverSeesTrailerAsPayload(t *testing.T) {
+	// A standards-conformant binding must still parse tagged messages;
+	// the trailer is just extra payload to it.
+	m := sampleMessage()
+	m.Tag = &logical.Tag{Time: 42, Microstep: 1}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != nil {
+		t.Error("plain Unmarshal must not interpret trailers")
+	}
+	if len(got.Payload) != 5+TagTrailerSize {
+		t.Errorf("payload length = %d, want %d", len(got.Payload), 5+TagTrailerSize)
+	}
+}
+
+func TestUnmarshalTaggedWithoutTrailer(t *testing.T) {
+	got, err := UnmarshalTagged(sampleMessage().Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != nil {
+		t.Error("untagged message decoded with tag")
+	}
+}
+
+func TestTrailerNotConfusedByShortPayload(t *testing.T) {
+	m := &Message{Service: 1, Method: 2, Type: TypeRequest, Payload: []byte("DEAR")}
+	got, err := UnmarshalTagged(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != nil || string(got.Payload) != "DEAR" {
+		t.Error("short payload misidentified as trailer")
+	}
+}
+
+func TestTrailerMagicInPayloadNotStripped(t *testing.T) {
+	// 20+ bytes ending with text that is not a valid trailer.
+	payload := append(bytes.Repeat([]byte{0}, 16), 'D', 'E', 'A', 'R')
+	m := &Message{Service: 1, Method: 2, Type: TypeRequest, Payload: payload}
+	got, err := UnmarshalTagged(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != nil {
+		t.Error("payload bytes misidentified as trailer")
+	}
+	// The magic must be at the trailer *start*, 20 bytes from the end.
+	if !bytes.Equal(got.Payload, payload) {
+		t.Errorf("payload altered: % x", got.Payload)
+	}
+}
+
+func TestEventID(t *testing.T) {
+	id := EventID(5)
+	if !id.IsEvent() {
+		t.Error("EventID must set the event flag")
+	}
+	if id != 0x8005 {
+		t.Errorf("EventID(5) = %#x", uint16(id))
+	}
+	if MethodID(5).IsEvent() {
+		t.Error("plain method must not be an event")
+	}
+}
+
+func TestMessageIDAndRequestID(t *testing.T) {
+	m := sampleMessage()
+	if m.MessageID() != 0x12340042 {
+		t.Errorf("MessageID = %#x", m.MessageID())
+	}
+	if m.RequestID() != 0x00070100 {
+		t.Errorf("RequestID = %#x", m.RequestID())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TypeRequest.String() != "REQUEST" || TypeError.String() != "ERROR" {
+		t.Error("MessageType strings wrong")
+	}
+	if EOK.String() != "E_OK" || EMissingTag.String() != "E_MISSING_TAG" {
+		t.Error("ReturnCode strings wrong")
+	}
+	m := sampleMessage()
+	if m.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMarshalToPanicsOnSmallBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	sampleMessage().MarshalTo(make([]byte, 4))
+}
+
+// Property: marshal/unmarshal round-trips arbitrary messages.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(svc, mth, cli, ses uint16, iv uint8, payload []byte) bool {
+		m := &Message{
+			Service: ServiceID(svc), Method: MethodID(mth),
+			Client: ClientID(cli), Session: SessionID(ses),
+			InterfaceVersion: iv, Type: TypeRequest, Code: EOK,
+			Payload: payload,
+		}
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Service == m.Service && got.Method == m.Method &&
+			got.Client == m.Client && got.Session == m.Session &&
+			got.InterfaceVersion == iv && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tagged round trip preserves arbitrary tags and payloads.
+func TestTaggedRoundTripProperty(t *testing.T) {
+	f := func(tm int64, ms uint32, payload []byte) bool {
+		if tm < 0 {
+			tm = -tm
+		}
+		tag := logical.Tag{Time: logical.Time(tm), Microstep: logical.Microstep(ms)}
+		m := &Message{Service: 1, Method: 2, Type: TypeRequest, Payload: payload, Tag: &tag}
+		got, err := UnmarshalTagged(m.Marshal())
+		if err != nil || got.Tag == nil {
+			return false
+		}
+		return *got.Tag == tag && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+package someip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Service discovery wire format (SOME/IP-SD): SD messages are ordinary
+// SOME/IP messages addressed to service 0xFFFF, method 0x8100, carrying
+// an entries array (find/offer/subscribe/ack) and an options array
+// (endpoint addresses) in the payload.
+
+// SD protocol constants.
+const (
+	SDService ServiceID = 0xFFFF
+	SDMethod  MethodID  = 0x8100
+	// SDPort is the well-known SD port (30490 in real deployments).
+	SDPort uint16 = 30490
+	// UDPProto is the L4 protocol identifier for UDP in endpoint options.
+	UDPProto uint8 = 0x11
+)
+
+// EntryType discriminates SD entries.
+type EntryType uint8
+
+// SD entry types.
+const (
+	FindService            EntryType = 0x00
+	OfferService           EntryType = 0x01
+	SubscribeEventgroup    EntryType = 0x06
+	SubscribeEventgroupAck EntryType = 0x07
+)
+
+func (t EntryType) String() string {
+	switch t {
+	case FindService:
+		return "FIND"
+	case OfferService:
+		return "OFFER"
+	case SubscribeEventgroup:
+		return "SUBSCRIBE"
+	case SubscribeEventgroupAck:
+		return "SUBSCRIBE_ACK"
+	default:
+		return fmt.Sprintf("EntryType(0x%02x)", uint8(t))
+	}
+}
+
+func (t EntryType) isEventgroup() bool {
+	return t == SubscribeEventgroup || t == SubscribeEventgroupAck
+}
+
+// OptionType discriminates SD options.
+type OptionType uint8
+
+// IPv4EndpointOption is the only option type this stack uses.
+const IPv4EndpointOption OptionType = 0x04
+
+// Option is an SD option. Only IPv4 endpoint options are supported; the
+// simulated network address is mapped into 10.0.x.y (see AddrToIPv4).
+type Option struct {
+	Type  OptionType
+	Addr  simnet.Addr
+	Proto uint8
+}
+
+// Entry is an SD entry with its resolved options.
+type Entry struct {
+	Type     EntryType
+	Service  ServiceID
+	Instance InstanceID
+	Major    uint8
+	TTL      uint32 // 24-bit; 0 means stop-offer / unsubscribe / nack
+	// Minor is used by service entries (find/offer).
+	Minor uint32
+	// Counter and Eventgroup are used by eventgroup entries.
+	Counter    uint8
+	Eventgroup uint16
+	Options    []Option
+}
+
+const entrySize = 16
+
+// AddrToIPv4 maps a simulated network address to an IPv4 address
+// (10.0.hostHi.hostLo) for carriage in endpoint options.
+func AddrToIPv4(a simnet.Addr) [4]byte {
+	return [4]byte{10, 0, byte(a.Host >> 8), byte(a.Host)}
+}
+
+// IPv4ToAddr inverts AddrToIPv4.
+func IPv4ToAddr(ip [4]byte, port uint16) (simnet.Addr, error) {
+	if ip[0] != 10 || ip[1] != 0 {
+		return simnet.Addr{}, fmt.Errorf("someip: IPv4 %d.%d.%d.%d outside simulated 10.0.0.0/16", ip[0], ip[1], ip[2], ip[3])
+	}
+	return simnet.Addr{Host: uint16(ip[2])<<8 | uint16(ip[3]), Port: port}, nil
+}
+
+// Errors returned by UnmarshalSD.
+var (
+	ErrSDMalformed = errors.New("someip: malformed SD payload")
+	ErrSDOptionRef = errors.New("someip: SD entry references invalid option")
+)
+
+// MarshalSD encodes SD entries into an SD message payload. Identical
+// options are deduplicated; each entry's options become its first option
+// run.
+func MarshalSD(entries []Entry) []byte {
+	var opts []Option
+	optIndex := func(o Option) int {
+		for i, e := range opts {
+			if e == o {
+				return i
+			}
+		}
+		opts = append(opts, o)
+		return len(opts) - 1
+	}
+	type entryRef struct {
+		first, count int
+	}
+	refs := make([]entryRef, len(entries))
+	for i, e := range entries {
+		if len(e.Options) == 0 {
+			refs[i] = entryRef{0, 0}
+			continue
+		}
+		// Options of one entry must form a contiguous run; dedup works
+		// only when the run already exists in order. For the small option
+		// counts used by SD (1 per entry in practice), appending fresh
+		// runs when not contiguous is fine.
+		first := optIndex(e.Options[0])
+		contiguous := true
+		for j := 1; j < len(e.Options); j++ {
+			idx := optIndex(e.Options[j])
+			if idx != first+j {
+				contiguous = false
+				break
+			}
+		}
+		if !contiguous {
+			first = len(opts)
+			opts = append(opts, e.Options...)
+		}
+		refs[i] = entryRef{first, len(e.Options)}
+	}
+
+	entriesLen := len(entries) * entrySize
+	optBytes := make([]byte, 0, len(opts)*12)
+	for _, o := range opts {
+		buf := make([]byte, 12)
+		binary.BigEndian.PutUint16(buf[0:2], 9) // length after type field
+		buf[2] = byte(o.Type)
+		buf[3] = 0 // reserved / discardable flag
+		ip := AddrToIPv4(o.Addr)
+		copy(buf[4:8], ip[:])
+		buf[8] = 0 // reserved
+		buf[9] = o.Proto
+		binary.BigEndian.PutUint16(buf[10:12], o.Addr.Port)
+		optBytes = append(optBytes, buf...)
+	}
+
+	out := make([]byte, 0, 12+entriesLen+len(optBytes))
+	// flags: reboot(0x80)|unicast(0x40) — we always set unicast support.
+	out = append(out, 0x40, 0, 0, 0)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(entriesLen))
+	out = append(out, lenBuf[:]...)
+	for i, e := range entries {
+		buf := make([]byte, entrySize)
+		buf[0] = byte(e.Type)
+		buf[1] = byte(refs[i].first)
+		buf[2] = 0 // second option run unused
+		buf[3] = byte(refs[i].count) << 4
+		binary.BigEndian.PutUint16(buf[4:6], uint16(e.Service))
+		binary.BigEndian.PutUint16(buf[6:8], uint16(e.Instance))
+		buf[8] = e.Major
+		buf[9] = byte(e.TTL >> 16)
+		buf[10] = byte(e.TTL >> 8)
+		buf[11] = byte(e.TTL)
+		if e.Type.isEventgroup() {
+			buf[12] = 0
+			buf[13] = e.Counter & 0x0f
+			binary.BigEndian.PutUint16(buf[14:16], e.Eventgroup)
+		} else {
+			binary.BigEndian.PutUint32(buf[12:16], e.Minor)
+		}
+		out = append(out, buf...)
+	}
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(optBytes)))
+	out = append(out, lenBuf[:]...)
+	out = append(out, optBytes...)
+	return out
+}
+
+// UnmarshalSD decodes an SD message payload.
+func UnmarshalSD(payload []byte) ([]Entry, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("%w: too short for flags+entries length", ErrSDMalformed)
+	}
+	entriesLen := int(binary.BigEndian.Uint32(payload[4:8]))
+	if entriesLen%entrySize != 0 {
+		return nil, fmt.Errorf("%w: entries length %d", ErrSDMalformed, entriesLen)
+	}
+	rest := payload[8:]
+	if len(rest) < entriesLen+4 {
+		return nil, fmt.Errorf("%w: truncated entries", ErrSDMalformed)
+	}
+	entryBytes := rest[:entriesLen]
+	rest = rest[entriesLen:]
+	optsLen := int(binary.BigEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if len(rest) < optsLen {
+		return nil, fmt.Errorf("%w: truncated options", ErrSDMalformed)
+	}
+	optBytes := rest[:optsLen]
+
+	// Decode options.
+	var opts []Option
+	for off := 0; off < len(optBytes); {
+		if off+3 > len(optBytes) {
+			return nil, fmt.Errorf("%w: truncated option header", ErrSDMalformed)
+		}
+		optLen := int(binary.BigEndian.Uint16(optBytes[off : off+2]))
+		typ := OptionType(optBytes[off+2])
+		total := 3 + optLen
+		if off+total > len(optBytes) {
+			return nil, fmt.Errorf("%w: option overruns buffer", ErrSDMalformed)
+		}
+		body := optBytes[off+3 : off+total]
+		switch typ {
+		case IPv4EndpointOption:
+			if len(body) != 9 {
+				return nil, fmt.Errorf("%w: IPv4 option length %d", ErrSDMalformed, len(body))
+			}
+			var ip [4]byte
+			copy(ip[:], body[1:5])
+			port := binary.BigEndian.Uint16(body[7:9])
+			addr, err := IPv4ToAddr(ip, port)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, Option{Type: typ, Addr: addr, Proto: body[6]})
+		default:
+			// Unknown options are skipped but keep their index slot so
+			// entry references stay aligned.
+			opts = append(opts, Option{Type: typ})
+		}
+		off += total
+	}
+
+	// Decode entries.
+	n := entriesLen / entrySize
+	entries := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		buf := entryBytes[i*entrySize : (i+1)*entrySize]
+		e := Entry{
+			Type:     EntryType(buf[0]),
+			Service:  ServiceID(binary.BigEndian.Uint16(buf[4:6])),
+			Instance: InstanceID(binary.BigEndian.Uint16(buf[6:8])),
+			Major:    buf[8],
+			TTL:      uint32(buf[9])<<16 | uint32(buf[10])<<8 | uint32(buf[11]),
+		}
+		if e.Type.isEventgroup() {
+			e.Counter = buf[13] & 0x0f
+			e.Eventgroup = binary.BigEndian.Uint16(buf[14:16])
+		} else {
+			e.Minor = binary.BigEndian.Uint32(buf[12:16])
+		}
+		first := int(buf[1])
+		count := int(buf[3] >> 4)
+		if count > 0 {
+			if first+count > len(opts) {
+				return nil, fmt.Errorf("%w: run [%d,%d) of %d", ErrSDOptionRef, first, first+count, len(opts))
+			}
+			e.Options = append(e.Options, opts[first:first+count]...)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// NewSDMessage wraps SD entries in a SOME/IP message ready to send.
+func NewSDMessage(session SessionID, entries []Entry) *Message {
+	return &Message{
+		Service:          SDService,
+		Method:           SDMethod,
+		Client:           0,
+		Session:          session,
+		InterfaceVersion: 1,
+		Type:             TypeNotification,
+		Code:             EOK,
+		Payload:          MarshalSD(entries),
+	}
+}
+
+// IsSD reports whether the message is a service-discovery message.
+func (m *Message) IsSD() bool { return m.Service == SDService && m.Method == SDMethod }

@@ -1,0 +1,189 @@
+package someip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simnet"
+)
+
+func TestSDRoundTripOffer(t *testing.T) {
+	in := []Entry{{
+		Type: OfferService, Service: 0x1111, Instance: 0x0001,
+		Major: 1, Minor: 3, TTL: 3,
+		Options: []Option{{Type: IPv4EndpointOption, Addr: simnet.Addr{Host: 2, Port: 40000}, Proto: UDPProto}},
+	}}
+	out, err := UnmarshalSD(MarshalSD(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	e := out[0]
+	if e.Type != OfferService || e.Service != 0x1111 || e.Instance != 1 ||
+		e.Major != 1 || e.Minor != 3 || e.TTL != 3 {
+		t.Errorf("entry = %+v", e)
+	}
+	if len(e.Options) != 1 || e.Options[0].Addr != (simnet.Addr{Host: 2, Port: 40000}) || e.Options[0].Proto != UDPProto {
+		t.Errorf("options = %+v", e.Options)
+	}
+}
+
+func TestSDRoundTripFind(t *testing.T) {
+	in := []Entry{{
+		Type: FindService, Service: 7, Instance: 0xFFFF,
+		Major: 0xFF, Minor: 0xFFFFFFFF, TTL: 5,
+	}}
+	out, err := UnmarshalSD(MarshalSD(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Type != FindService || out[0].Minor != 0xFFFFFFFF || len(out[0].Options) != 0 {
+		t.Errorf("entry = %+v", out[0])
+	}
+}
+
+func TestSDRoundTripSubscribe(t *testing.T) {
+	in := []Entry{{
+		Type: SubscribeEventgroup, Service: 9, Instance: 1,
+		Major: 2, TTL: 3, Eventgroup: 0x10, Counter: 5,
+		Options: []Option{{Type: IPv4EndpointOption, Addr: simnet.Addr{Host: 3, Port: 4444}, Proto: UDPProto}},
+	}}
+	out, err := UnmarshalSD(MarshalSD(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := out[0]
+	if e.Eventgroup != 0x10 || e.Counter != 5 || e.TTL != 3 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestSDMultipleEntriesSharedOption(t *testing.T) {
+	addr := simnet.Addr{Host: 4, Port: 1000}
+	opt := Option{Type: IPv4EndpointOption, Addr: addr, Proto: UDPProto}
+	in := []Entry{
+		{Type: OfferService, Service: 1, Instance: 1, TTL: 3, Options: []Option{opt}},
+		{Type: OfferService, Service: 2, Instance: 1, TTL: 3, Options: []Option{opt}},
+	}
+	payload := MarshalSD(in)
+	out, err := UnmarshalSD(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	for _, e := range out {
+		if len(e.Options) != 1 || e.Options[0].Addr != addr {
+			t.Errorf("entry options = %+v", e.Options)
+		}
+	}
+	// Deduplication: one option (12 bytes), not two.
+	// payload = 4 flags + 4 + 2*16 entries + 4 + 12 options.
+	if len(payload) != 4+4+32+4+12 {
+		t.Errorf("payload size = %d (option dedup failed?)", len(payload))
+	}
+}
+
+func TestSDTTL24Bit(t *testing.T) {
+	in := []Entry{{Type: OfferService, Service: 1, Instance: 1, TTL: 0xABCDEF}}
+	out, err := UnmarshalSD(MarshalSD(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].TTL != 0xABCDEF {
+		t.Errorf("TTL = %#x", out[0].TTL)
+	}
+}
+
+func TestSDMalformed(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0, 0, 0},
+		{0x40, 0, 0, 0, 0, 0, 0, 17}, // entries length not multiple of 16
+		{0x40, 0, 0, 0, 0, 0, 0, 16}, // truncated entries
+	}
+	for i, buf := range cases {
+		if _, err := UnmarshalSD(buf); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestSDBadOptionReference(t *testing.T) {
+	in := []Entry{{Type: OfferService, Service: 1, Instance: 1, TTL: 1}}
+	payload := MarshalSD(in)
+	// Forge an option count of 2 with no options present.
+	payload[8+3] = 2 << 4
+	if _, err := UnmarshalSD(payload); err == nil {
+		t.Error("want option reference error")
+	}
+}
+
+func TestAddrIPv4Mapping(t *testing.T) {
+	a := simnet.Addr{Host: 0x0102, Port: 999}
+	ip := AddrToIPv4(a)
+	if ip != [4]byte{10, 0, 1, 2} {
+		t.Errorf("ip = %v", ip)
+	}
+	back, err := IPv4ToAddr(ip, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != a {
+		t.Errorf("round trip = %v", back)
+	}
+	if _, err := IPv4ToAddr([4]byte{192, 168, 0, 1}, 1); err == nil {
+		t.Error("want error outside simulated range")
+	}
+}
+
+func TestNewSDMessageShape(t *testing.T) {
+	m := NewSDMessage(7, []Entry{{Type: FindService, Service: 1, Instance: 1, TTL: 1}})
+	if !m.IsSD() {
+		t.Error("not recognized as SD")
+	}
+	if m.Type != TypeNotification || m.Session != 7 {
+		t.Errorf("msg = %+v", m)
+	}
+	// Must survive the generic codec.
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := UnmarshalSD(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Type != FindService {
+		t.Errorf("entry = %+v", entries[0])
+	}
+}
+
+// Property: SD codec round-trips arbitrary well-formed service entries.
+func TestSDRoundTripProperty(t *testing.T) {
+	f := func(svc, inst uint16, major uint8, ttl uint32, minor uint32, host, port uint16) bool {
+		ttl &= 0xFFFFFF
+		if host >= simnet.MulticastBase {
+			host = simnet.MulticastBase - 1
+		}
+		in := []Entry{{
+			Type: OfferService, Service: ServiceID(svc), Instance: InstanceID(inst),
+			Major: major, Minor: minor, TTL: ttl,
+			Options: []Option{{Type: IPv4EndpointOption, Addr: simnet.Addr{Host: host, Port: port}, Proto: UDPProto}},
+		}}
+		out, err := UnmarshalSD(MarshalSD(in))
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		e := out[0]
+		return e.Service == ServiceID(svc) && e.Instance == InstanceID(inst) &&
+			e.Major == major && e.Minor == minor && e.TTL == ttl &&
+			len(e.Options) == 1 && e.Options[0].Addr == (simnet.Addr{Host: host, Port: port})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

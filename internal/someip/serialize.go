@@ -1,0 +1,242 @@
+package someip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SOME/IP payload serialization per the AUTOSAR basic datatype rules:
+// big-endian ("network byte order") encoding of fixed-width integers and
+// IEEE-754 floats, booleans as one byte, strings and dynamic arrays with
+// a leading 32-bit length field. Writer and Reader implement streaming
+// encode/decode with explicit error tracking, the building blocks that
+// generated proxies/skeletons use for method arguments and event data.
+
+// Writer serializes values into a growing payload buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty payload writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the current payload length.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends an unsigned 8-bit value.
+func (w *Writer) U8(v uint8) *Writer {
+	w.buf = append(w.buf, v)
+	return w
+}
+
+// U16 appends an unsigned 16-bit value.
+func (w *Writer) U16(v uint16) *Writer {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+	return w
+}
+
+// U32 appends an unsigned 32-bit value.
+func (w *Writer) U32(v uint32) *Writer {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+	return w
+}
+
+// U64 appends an unsigned 64-bit value.
+func (w *Writer) U64(v uint64) *Writer {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+	return w
+}
+
+// I8 appends a signed 8-bit value.
+func (w *Writer) I8(v int8) *Writer { return w.U8(uint8(v)) }
+
+// I16 appends a signed 16-bit value.
+func (w *Writer) I16(v int16) *Writer { return w.U16(uint16(v)) }
+
+// I32 appends a signed 32-bit value.
+func (w *Writer) I32(v int32) *Writer { return w.U32(uint32(v)) }
+
+// I64 appends a signed 64-bit value.
+func (w *Writer) I64(v int64) *Writer { return w.U64(uint64(v)) }
+
+// Bool appends a boolean (one byte, 0 or 1).
+func (w *Writer) Bool(v bool) *Writer {
+	if v {
+		return w.U8(1)
+	}
+	return w.U8(0)
+}
+
+// F32 appends an IEEE-754 single-precision float.
+func (w *Writer) F32(v float32) *Writer { return w.U32(math.Float32bits(v)) }
+
+// F64 appends an IEEE-754 double-precision float.
+func (w *Writer) F64(v float64) *Writer { return w.U64(math.Float64bits(v)) }
+
+// String appends a UTF-8 string with a 32-bit length field.
+func (w *Writer) String(s string) *Writer {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
+// Blob appends a dynamic byte array with a 32-bit length field.
+func (w *Writer) Blob(b []byte) *Writer {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// Raw appends bytes without a length field (fixed-size arrays/structs).
+func (w *Writer) Raw(b []byte) *Writer {
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// ErrPayloadTruncated reports reads past the end of a payload.
+var ErrPayloadTruncated = errors.New("someip: payload truncated")
+
+// Reader deserializes values from a payload. The first error sticks: all
+// subsequent reads return zero values, and Err reports the failure, so
+// call sites can decode a full struct and check once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload for reading.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish verifies the payload was consumed exactly and returns any error.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("someip: %d trailing payload bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrPayloadTruncated, n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads an unsigned 8-bit value.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads an unsigned 16-bit value.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads an unsigned 32-bit value.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads an unsigned 64-bit value.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I8 reads a signed 8-bit value.
+func (r *Reader) I8() int8 { return int8(r.U8()) }
+
+// I16 reads a signed 16-bit value.
+func (r *Reader) I16() int16 { return int16(r.U16()) }
+
+// I32 reads a signed 32-bit value.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads a signed 64-bit value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bool reads a boolean; any nonzero byte is true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// F32 reads an IEEE-754 single-precision float.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// F64 reads an IEEE-754 double-precision float.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a length-prefixed UTF-8 string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || n > r.Remaining() {
+		r.err = fmt.Errorf("%w: string length %d exceeds remaining %d", ErrPayloadTruncated, n, r.Remaining())
+		return ""
+	}
+	b := r.take(n)
+	return string(b)
+}
+
+// Blob reads a length-prefixed byte array (copied).
+func (r *Reader) Blob() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.err = fmt.Errorf("%w: blob length %d exceeds remaining %d", ErrPayloadTruncated, n, r.Remaining())
+		return nil
+	}
+	b := r.take(n)
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Raw reads n bytes without a length field (copied).
+func (r *Reader) Raw(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,180 @@
+package someip
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderAllTypes(t *testing.T) {
+	w := NewWriter()
+	w.U8(0xAB).U16(0xCDEF).U32(0x01020304).U64(0x1122334455667788)
+	w.I8(-5).I16(-500).I32(-50000).I64(-5000000000)
+	w.Bool(true).Bool(false)
+	w.F32(3.14).F64(-2.718281828)
+	w.String("hello, wörld").Blob([]byte{1, 2, 3}).Raw([]byte{9, 9})
+
+	r := NewReader(w.Bytes())
+	if v := r.U8(); v != 0xAB {
+		t.Errorf("U8 = %#x", v)
+	}
+	if v := r.U16(); v != 0xCDEF {
+		t.Errorf("U16 = %#x", v)
+	}
+	if v := r.U32(); v != 0x01020304 {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != 0x1122334455667788 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := r.I8(); v != -5 {
+		t.Errorf("I8 = %d", v)
+	}
+	if v := r.I16(); v != -500 {
+		t.Errorf("I16 = %d", v)
+	}
+	if v := r.I32(); v != -50000 {
+		t.Errorf("I32 = %d", v)
+	}
+	if v := r.I64(); v != -5000000000 {
+		t.Errorf("I64 = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if v := r.F32(); v != 3.14 {
+		t.Errorf("F32 = %v", v)
+	}
+	if v := r.F64(); v != -2.718281828 {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := r.String(); v != "hello, wörld" {
+		t.Errorf("String = %q", v)
+	}
+	if v := r.Blob(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", v)
+	}
+	if v := r.Raw(2); !bytes.Equal(v, []byte{9, 9}) {
+		t.Errorf("Raw = %v", v)
+	}
+	if err := r.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestReaderBigEndianLayout(t *testing.T) {
+	w := NewWriter().U16(0x0102)
+	if !bytes.Equal(w.Bytes(), []byte{0x01, 0x02}) {
+		t.Errorf("not big endian: % x", w.Bytes())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32() // truncated
+	if r.Err() == nil {
+		t.Fatal("want truncation error")
+	}
+	// Subsequent reads return zero values without panicking.
+	if v := r.U64(); v != 0 {
+		t.Errorf("post-error read = %d", v)
+	}
+	if s := r.String(); s != "" {
+		t.Errorf("post-error string = %q", s)
+	}
+	if err := r.Finish(); err == nil {
+		t.Error("Finish should report the sticky error")
+	}
+}
+
+func TestReaderTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	r.U8()
+	if err := r.Finish(); err == nil {
+		t.Error("Finish should report trailing bytes")
+	}
+}
+
+func TestStringLengthOverrun(t *testing.T) {
+	w := NewWriter().U32(100) // claims 100 bytes
+	r := NewReader(append(w.Bytes(), 'x'))
+	if s := r.String(); s != "" || r.Err() == nil {
+		t.Errorf("overrun string accepted: %q, err=%v", s, r.Err())
+	}
+}
+
+func TestBlobLengthOverrun(t *testing.T) {
+	w := NewWriter().U32(7)
+	r := NewReader(w.Bytes())
+	if b := r.Blob(); b != nil || r.Err() == nil {
+		t.Errorf("overrun blob accepted: %v", b)
+	}
+}
+
+func TestBlobIsCopied(t *testing.T) {
+	payload := NewWriter().Blob([]byte{5, 6, 7}).Bytes()
+	r := NewReader(payload)
+	b := r.Blob()
+	b[0] = 99
+	if payload[4] == 99 {
+		t.Error("Blob aliases the payload buffer")
+	}
+}
+
+func TestEmptyStringAndBlob(t *testing.T) {
+	w := NewWriter().String("").Blob(nil)
+	r := NewReader(w.Bytes())
+	if s := r.String(); s != "" {
+		t.Errorf("empty string = %q", s)
+	}
+	if b := r.Blob(); len(b) != 0 {
+		t.Errorf("empty blob = %v", b)
+	}
+	if err := r.Finish(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary sequences of (u32, string, f64, bool) round-trip.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	f := func(u uint32, s string, fv float64, b bool, raw []byte) bool {
+		if math.IsNaN(fv) {
+			fv = 0
+		}
+		if len(raw) > 1000 {
+			raw = raw[:1000]
+		}
+		w := NewWriter().U32(u).String(s).F64(fv).Bool(b).Blob(raw)
+		r := NewReader(w.Bytes())
+		if r.U32() != u || r.String() != s || r.F64() != fv || r.Bool() != b {
+			return false
+		}
+		if !bytes.Equal(r.Blob(), raw) && len(raw) > 0 {
+			return false
+		}
+		return r.Finish() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Writer length always equals sum of written sizes.
+func TestWriterLenProperty(t *testing.T) {
+	f := func(ss []string) bool {
+		w := NewWriter()
+		want := 0
+		for _, s := range ss {
+			if len(s) > 200 {
+				s = s[:200]
+			}
+			w.String(s)
+			want += 4 + len(s)
+		}
+		return w.Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package someip
+
+import (
+	"encoding/binary"
+
+	"repro/internal/logical"
+)
+
+// The DEAR tag trailer carries a reactor tag at the end of a SOME/IP
+// message. Because the SOME/IP header has no extension mechanism, the
+// trailer is counted as payload by the Length field; unmodified receivers
+// see a slightly longer payload, which keeps the extension
+// standards-compatible exactly as argued in the paper ("a new third-party
+// middleware that extends over SOME/IP by allowing the transmission of
+// tagged messages").
+//
+// Layout (big endian), 20 bytes:
+//
+//	[0:4]   magic "DEAR" (0x44 0x45 0x41 0x52)
+//	[4]     version (1)
+//	[5]     flags (bit 0: tag valid)
+//	[6:8]   reserved, must be zero
+//	[8:16]  tag time (int64 nanoseconds)
+//	[16:20] tag microstep (uint32)
+
+// TagTrailerSize is the size of the DEAR tag trailer in bytes.
+const TagTrailerSize = 20
+
+// tagMagic identifies the trailer.
+var tagMagic = [4]byte{'D', 'E', 'A', 'R'}
+
+const (
+	tagVersion   = 1
+	tagFlagValid = 0x01
+)
+
+func putTagTrailer(buf []byte, tag logical.Tag) {
+	copy(buf[0:4], tagMagic[:])
+	buf[4] = tagVersion
+	buf[5] = tagFlagValid
+	buf[6] = 0
+	buf[7] = 0
+	binary.BigEndian.PutUint64(buf[8:16], uint64(tag.Time))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(tag.Microstep))
+}
+
+// splitTagTrailer checks whether payload ends in a valid tag trailer.
+// On success it returns the tag and the payload with the trailer removed.
+func splitTagTrailer(payload []byte) (tag logical.Tag, rest []byte, ok bool) {
+	if len(payload) < TagTrailerSize {
+		return tag, payload, false
+	}
+	tr := payload[len(payload)-TagTrailerSize:]
+	if tr[0] != tagMagic[0] || tr[1] != tagMagic[1] || tr[2] != tagMagic[2] || tr[3] != tagMagic[3] {
+		return tag, payload, false
+	}
+	if tr[4] != tagVersion || tr[5]&tagFlagValid == 0 || tr[6] != 0 || tr[7] != 0 {
+		return tag, payload, false
+	}
+	tag = logical.Tag{
+		Time:      logical.Time(binary.BigEndian.Uint64(tr[8:16])),
+		Microstep: logical.Microstep(binary.BigEndian.Uint32(tr[16:20])),
+	}
+	return tag, payload[:len(payload)-TagTrailerSize], true
+}

@@ -1,0 +1,203 @@
+package someip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/logical"
+)
+
+// SOME/IP-TP: transport-protocol segmentation for messages that exceed
+// the datagram MTU, per the AUTOSAR transformer specification. A
+// segmented message carries the TP flag in its message type and a 4-byte
+// TP header after the SOME/IP header:
+//
+//	[0:4] offset (upper 28 bits, in bytes — multiples of 16) |
+//	      reserved (3 bits) | more-segments flag (1 bit)
+//
+// All segments repeat the original 16-byte SOME/IP header (same request
+// ID), so receivers reassemble by (message ID, request ID, interface
+// version). Segments must carry offsets in multiples of 16 except for
+// the final segment.
+
+// TPHeaderSize is the size of the TP header in bytes.
+const TPHeaderSize = 4
+
+// tpMaxSegmentPayload computes the usable payload per segment for a
+// given MTU (MTU covers the SOME/IP header, the TP header and payload).
+func tpMaxSegmentPayload(mtu int) (int, error) {
+	usable := mtu - HeaderSize - TPHeaderSize
+	// Round down to the TP offset granularity of 16 bytes.
+	usable -= usable % 16
+	if usable <= 0 {
+		return 0, fmt.Errorf("someip: MTU %d leaves no room for TP payload", mtu)
+	}
+	return usable, nil
+}
+
+// Segment splits a message into SOME/IP-TP segments whose wire size does
+// not exceed mtu. Messages that already fit are returned unchanged (one
+// element). The message's tag, if any, is carried only on the FINAL
+// segment, so the reassembled message keeps its tag while partial
+// deliveries never expose one.
+func Segment(m *Message, mtu int) ([]*Message, error) {
+	if m.Type&TPFlag != 0 {
+		return nil, fmt.Errorf("someip: message already segmented")
+	}
+	if m.WireSize() <= mtu {
+		return []*Message{m}, nil
+	}
+	chunk, err := tpMaxSegmentPayload(mtu)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Message
+	for off := 0; off < len(m.Payload); off += chunk {
+		end := off + chunk
+		more := true
+		if end >= len(m.Payload) {
+			end = len(m.Payload)
+			more = false
+		}
+		var tp [TPHeaderSize]byte
+		word := uint32(off) & 0xFFFFFFF0
+		if more {
+			word |= 1
+		}
+		binary.BigEndian.PutUint32(tp[:], word)
+		seg := &Message{
+			Service:          m.Service,
+			Method:           m.Method,
+			Client:           m.Client,
+			Session:          m.Session,
+			InterfaceVersion: m.InterfaceVersion,
+			Type:             m.Type | TPFlag,
+			Code:             m.Code,
+			Payload:          append(tp[:], m.Payload[off:end]...),
+		}
+		if !more && m.Tag != nil {
+			t := *m.Tag
+			seg.Tag = &t
+		}
+		out = append(out, seg)
+	}
+	return out, nil
+}
+
+// tpKey identifies one in-flight reassembly.
+type tpKey struct {
+	msgID uint32
+	reqID uint32
+	iface uint8
+}
+
+type tpBuffer struct {
+	segments map[uint32][]byte // offset -> data
+	total    int
+	final    bool
+	finalEnd uint32
+	deadline logical.Time
+	tag      *logical.Tag
+	template Message
+}
+
+// Reassembler collects SOME/IP-TP segments and yields complete messages.
+// Incomplete reassemblies expire after the configured timeout (checked
+// lazily on Feed and explicitly via Expire).
+type Reassembler struct {
+	timeout  logical.Duration
+	buffers  map[tpKey]*tpBuffer
+	complete uint64
+	expired  uint64
+}
+
+// NewReassembler creates a reassembler. timeout <= 0 disables expiry.
+func NewReassembler(timeout logical.Duration) *Reassembler {
+	return &Reassembler{timeout: timeout, buffers: map[tpKey]*tpBuffer{}}
+}
+
+// Stats returns (messages completed, reassemblies expired).
+func (r *Reassembler) Stats() (complete, expired uint64) { return r.complete, r.expired }
+
+// Pending returns the number of in-flight reassemblies.
+func (r *Reassembler) Pending() int { return len(r.buffers) }
+
+// Feed processes one received message at the given reception time.
+// Non-TP messages pass through unchanged. TP segments are buffered; when
+// a reassembly completes, the full message is returned.
+func (r *Reassembler) Feed(m *Message, now logical.Time) (*Message, error) {
+	r.Expire(now)
+	if m.Type&TPFlag == 0 {
+		return m, nil
+	}
+	if len(m.Payload) < TPHeaderSize {
+		return nil, fmt.Errorf("someip: TP segment without TP header")
+	}
+	word := binary.BigEndian.Uint32(m.Payload[:TPHeaderSize])
+	offset := word & 0xFFFFFFF0
+	more := word&1 != 0
+	data := m.Payload[TPHeaderSize:]
+
+	key := tpKey{msgID: m.MessageID(), reqID: m.RequestID(), iface: m.InterfaceVersion}
+	buf, ok := r.buffers[key]
+	if !ok {
+		buf = &tpBuffer{segments: map[uint32][]byte{}, template: *m}
+		r.buffers[key] = buf
+	}
+	if r.timeout > 0 {
+		buf.deadline = now.Add(r.timeout)
+	}
+	if _, dup := buf.segments[offset]; !dup {
+		d := make([]byte, len(data))
+		copy(d, data)
+		buf.segments[offset] = d
+		buf.total += len(data)
+	}
+	if !more {
+		buf.final = true
+		buf.finalEnd = offset + uint32(len(data))
+		if m.Tag != nil {
+			t := *m.Tag
+			buf.tag = &t
+		}
+	}
+	if !buf.final || buf.total < int(buf.finalEnd) {
+		return nil, nil // still incomplete
+	}
+	// Verify contiguity and assemble.
+	offsets := make([]uint32, 0, len(buf.segments))
+	for off := range buf.segments {
+		offsets = append(offsets, off)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	payload := make([]byte, 0, buf.finalEnd)
+	next := uint32(0)
+	for _, off := range offsets {
+		if off != next {
+			return nil, fmt.Errorf("someip: TP reassembly gap at offset %d (expected %d)", off, next)
+		}
+		payload = append(payload, buf.segments[off]...)
+		next = off + uint32(len(buf.segments[off]))
+	}
+	delete(r.buffers, key)
+	r.complete++
+	whole := buf.template
+	whole.Type &^= TPFlag
+	whole.Payload = payload
+	whole.Tag = buf.tag
+	return &whole, nil
+}
+
+// Expire drops reassemblies whose deadline has passed.
+func (r *Reassembler) Expire(now logical.Time) {
+	if r.timeout <= 0 {
+		return
+	}
+	for key, buf := range r.buffers {
+		if buf.deadline > 0 && now >= buf.deadline {
+			delete(r.buffers, key)
+			r.expired++
+		}
+	}
+}

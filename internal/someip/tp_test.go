@@ -1,0 +1,276 @@
+package someip
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logical"
+)
+
+func tpMessage(size int) *Message {
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	return &Message{
+		Service: 0x1234, Method: 0x0042, Client: 7, Session: 9,
+		InterfaceVersion: 1, Type: TypeNotification, Code: EOK,
+		Payload: payload,
+	}
+}
+
+func TestSegmentSmallMessagePassesThrough(t *testing.T) {
+	m := tpMessage(100)
+	segs, err := Segment(m, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != m {
+		t.Errorf("small message should pass through unchanged")
+	}
+}
+
+func TestSegmentAndReassemble(t *testing.T) {
+	m := tpMessage(4000)
+	segs, err := Segment(m, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("segments = %d, want >= 3", len(segs))
+	}
+	for i, s := range segs {
+		if s.WireSize() > 1400 {
+			t.Errorf("segment %d wire size %d > MTU", i, s.WireSize())
+		}
+		if s.Type&TPFlag == 0 {
+			t.Errorf("segment %d missing TP flag", i)
+		}
+		if s.Session != m.Session || s.Service != m.Service {
+			t.Errorf("segment %d header mismatch", i)
+		}
+	}
+	r := NewReassembler(0)
+	var got *Message
+	for _, s := range segs {
+		out, err := r.Feed(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			if got != nil {
+				t.Fatal("reassembled twice")
+			}
+			got = out
+		}
+	}
+	if got == nil {
+		t.Fatal("never reassembled")
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Error("payload corrupted in reassembly")
+	}
+	if got.Type&TPFlag != 0 {
+		t.Error("TP flag not cleared")
+	}
+	if c, _ := r.Stats(); c != 1 {
+		t.Errorf("complete = %d", c)
+	}
+}
+
+func TestSegmentPreservesTagOnFinalOnly(t *testing.T) {
+	m := tpMessage(3000)
+	tag := logical.Tag{Time: 42, Microstep: 3}
+	m.Tag = &tag
+	segs, err := Segment(m, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range segs {
+		if i < len(segs)-1 && s.Tag != nil {
+			t.Errorf("non-final segment %d carries tag", i)
+		}
+	}
+	if segs[len(segs)-1].Tag == nil {
+		t.Fatal("final segment lost the tag")
+	}
+	r := NewReassembler(0)
+	var got *Message
+	for _, s := range segs {
+		if out, _ := r.Feed(s, 0); out != nil {
+			got = out
+		}
+	}
+	if got == nil || got.Tag == nil || *got.Tag != tag {
+		t.Errorf("reassembled tag = %v", got.Tag)
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	m := tpMessage(5000)
+	segs, err := Segment(m, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed in reverse order.
+	r := NewReassembler(0)
+	var got *Message
+	for i := len(segs) - 1; i >= 0; i-- {
+		out, err := r.Feed(segs[i], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if got == nil || !bytes.Equal(got.Payload, m.Payload) {
+		t.Error("out-of-order reassembly failed")
+	}
+}
+
+func TestReassembleDuplicateSegments(t *testing.T) {
+	m := tpMessage(3000)
+	segs, _ := Segment(m, 1400)
+	r := NewReassembler(0)
+	var got *Message
+	for _, s := range segs {
+		r.Feed(s, 0) // first copy
+	}
+	// Feeding duplicates of a completed message starts a new buffer; feed
+	// all again to get a second complete message.
+	for _, s := range segs {
+		if out, _ := r.Feed(s, 0); out != nil {
+			got = out
+		}
+	}
+	if got == nil || !bytes.Equal(got.Payload, m.Payload) {
+		t.Error("duplicate feed failed")
+	}
+}
+
+func TestReassemblerInterleavedStreams(t *testing.T) {
+	a := tpMessage(3000)
+	b := tpMessage(3000)
+	b.Session = 10 // distinct request ID
+	for i := range b.Payload {
+		b.Payload[i] = byte(i * 13)
+	}
+	segsA, _ := Segment(a, 1400)
+	segsB, _ := Segment(b, 1400)
+	r := NewReassembler(0)
+	var gotA, gotB *Message
+	for i := 0; i < len(segsA) || i < len(segsB); i++ {
+		if i < len(segsA) {
+			if out, _ := r.Feed(segsA[i], 0); out != nil {
+				gotA = out
+			}
+		}
+		if i < len(segsB) {
+			if out, _ := r.Feed(segsB[i], 0); out != nil {
+				gotB = out
+			}
+		}
+	}
+	if gotA == nil || gotB == nil {
+		t.Fatal("interleaved reassembly incomplete")
+	}
+	if !bytes.Equal(gotA.Payload, a.Payload) || !bytes.Equal(gotB.Payload, b.Payload) {
+		t.Error("interleaved streams mixed up")
+	}
+}
+
+func TestReassemblerTimeout(t *testing.T) {
+	m := tpMessage(3000)
+	segs, _ := Segment(m, 1400)
+	r := NewReassembler(100)
+	r.Feed(segs[0], 0) // partial
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+	r.Expire(200)
+	if r.Pending() != 0 {
+		t.Error("expired buffer not dropped")
+	}
+	if _, exp := r.Stats(); exp != 1 {
+		t.Errorf("expired = %d", exp)
+	}
+	// Remaining segments now cannot complete: the first is gone, so the
+	// total never reaches finalEnd.
+	var got *Message
+	for _, s := range segs[1:] {
+		out, err := r.Feed(s, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if got != nil {
+		t.Error("reassembled from incomplete segments")
+	}
+}
+
+func TestSegmentRejectsTinyMTU(t *testing.T) {
+	if _, err := Segment(tpMessage(5000), HeaderSize+TPHeaderSize); err == nil {
+		t.Error("want error for MTU with no payload room")
+	}
+}
+
+func TestSegmentRejectsDoubleSegmentation(t *testing.T) {
+	m := tpMessage(5000)
+	segs, _ := Segment(m, 1400)
+	if _, err := Segment(segs[0], 400); err == nil {
+		t.Error("want error when segmenting a segment")
+	}
+}
+
+func TestFeedNonTPPassesThrough(t *testing.T) {
+	m := tpMessage(50)
+	r := NewReassembler(0)
+	out, err := r.Feed(m, 0)
+	if err != nil || out != m {
+		t.Errorf("pass-through failed: %v %v", out, err)
+	}
+}
+
+func TestFeedTruncatedTPSegmentErrors(t *testing.T) {
+	m := &Message{Service: 1, Method: 2, Type: TypeNotification | TPFlag, Payload: []byte{1, 2}}
+	r := NewReassembler(0)
+	if _, err := r.Feed(m, 0); err == nil {
+		t.Error("want error for truncated TP header")
+	}
+}
+
+// Property: segmentation round-trips arbitrary payload sizes and MTUs.
+func TestSegmentReassembleProperty(t *testing.T) {
+	f := func(sizeRaw uint16, mtuRaw uint8) bool {
+		size := int(sizeRaw%8000) + 1
+		mtu := 200 + int(mtuRaw)*8 // 200..2240
+		m := tpMessage(size)
+		segs, err := Segment(m, mtu)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler(0)
+		var got *Message
+		for _, s := range segs {
+			if s.WireSize() > mtu && len(segs) > 1 {
+				return false
+			}
+			out, err := r.Feed(s, 0)
+			if err != nil {
+				return false
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		return got != nil && bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

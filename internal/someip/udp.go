@@ -1,0 +1,163 @@
+package someip
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// UDPConn is a SOME/IP binding over a real UDP socket. It serves the
+// same role as Conn does over the simulated network: marshal on send,
+// decode on receive, with optional DEAR tag-trailer support. It exists
+// to demonstrate that the protocol layer is substrate-independent and to
+// allow loopback integration testing against real sockets; deterministic
+// experiments use the simulated transport.
+type UDPConn struct {
+	pc     *net.UDPConn
+	tagged bool
+	mtu    int
+
+	mu      sync.Mutex
+	onMsg   func(src *net.UDPAddr, m *Message)
+	onErr   func(src *net.UDPAddr, err error)
+	reasm   *Reassembler
+	started bool
+	closed  atomic.Bool
+	done    chan struct{}
+
+	sent     atomic.Uint64
+	received atomic.Uint64
+	decodeEr atomic.Uint64
+}
+
+// ListenUDP binds a SOME/IP UDP endpoint. addr uses net.ListenUDP
+// semantics (e.g. "127.0.0.1:0" for an ephemeral loopback port).
+// mtu > 0 enables SOME/IP-TP segmentation for oversized messages.
+func ListenUDP(addr string, tagged bool, mtu int) (*UDPConn, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("someip: resolve %q: %w", addr, err)
+	}
+	pc, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("someip: listen %q: %w", addr, err)
+	}
+	return &UDPConn{
+		pc:     pc,
+		tagged: tagged,
+		mtu:    mtu,
+		reasm:  NewReassembler(0),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound UDP address.
+func (c *UDPConn) Addr() *net.UDPAddr { return c.pc.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns (sent, received, decode errors).
+func (c *UDPConn) Stats() (sent, received, decodeErrors uint64) {
+	return c.sent.Load(), c.received.Load(), c.decodeEr.Load()
+}
+
+// OnMessage installs the receive handler and starts the read loop.
+// Handlers run on the connection's reader goroutine.
+func (c *UDPConn) OnMessage(fn func(src *net.UDPAddr, m *Message)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onMsg = fn
+	if !c.started {
+		c.started = true
+		go c.readLoop()
+	}
+}
+
+// OnError installs the decode-error handler.
+func (c *UDPConn) OnError(fn func(src *net.UDPAddr, err error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onErr = fn
+}
+
+// Send marshals and transmits the message, segmenting via SOME/IP-TP
+// when an MTU is configured and the message exceeds it.
+func (c *UDPConn) Send(dst *net.UDPAddr, m *Message) error {
+	if c.closed.Load() {
+		return errors.New("someip: send on closed UDPConn")
+	}
+	if !c.tagged && m.Tag != nil {
+		clone := *m
+		clone.Tag = nil
+		m = &clone
+	}
+	msgs := []*Message{m}
+	if c.mtu > 0 {
+		var err error
+		msgs, err = Segment(m, c.mtu)
+		if err != nil {
+			return err
+		}
+	}
+	for _, seg := range msgs {
+		if _, err := c.pc.WriteToUDP(seg.Marshal(), dst); err != nil {
+			return fmt.Errorf("someip: send: %w", err)
+		}
+		c.sent.Add(1)
+	}
+	return nil
+}
+
+// Close shuts the socket down and stops the read loop.
+func (c *UDPConn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	err := c.pc.Close()
+	if c.started {
+		<-c.done
+	}
+	return err
+}
+
+func (c *UDPConn) readLoop() {
+	defer close(c.done)
+	buf := make([]byte, 65536)
+	for {
+		n, src, err := c.pc.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		var m *Message
+		if c.tagged {
+			m, err = UnmarshalTagged(buf[:n])
+		} else {
+			m, err = Unmarshal(buf[:n])
+		}
+		if err == nil && m.Type&TPFlag != 0 {
+			c.mu.Lock()
+			m, err = c.reasm.Feed(m, 0)
+			c.mu.Unlock()
+			if m == nil && err == nil {
+				continue // segment buffered
+			}
+		}
+		if err != nil {
+			c.decodeEr.Add(1)
+			c.mu.Lock()
+			onErr := c.onErr
+			c.mu.Unlock()
+			if onErr != nil {
+				onErr(src, err)
+			}
+			continue
+		}
+		c.received.Add(1)
+		c.mu.Lock()
+		onMsg := c.onMsg
+		c.mu.Unlock()
+		if onMsg != nil {
+			onMsg(src, m)
+		}
+	}
+}
