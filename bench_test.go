@@ -13,7 +13,9 @@ package dear_test
 //	go test -bench=. -benchmem .
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/apd"
 	"repro/internal/des"
@@ -143,6 +145,25 @@ func BenchmarkFigure3RoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkLoopbackRoundTrip is the E9 substrate check: one tagged
+// method call through ara.Runtime over real loopback UDP sockets,
+// kernels driven by the physical clock. Unlike the simulated
+// experiments the numbers here are machine-dependent wall-clock times.
+func BenchmarkLoopbackRoundTrip(b *testing.B) {
+	n := b.N
+	if n < 1 {
+		n = 1
+	}
+	res, err := exp.RunLoopback(n, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Completed != n {
+		b.Fatalf("completed %d/%d round trips", res.Completed, n)
+	}
+	b.ReportMetric(float64(res.RTTMean.Nanoseconds()), "rtt-ns/op")
+}
+
 // BenchmarkTagTrailerOverhead is the E6 ablation: codec cost with and
 // without the DEAR tag trailer.
 func BenchmarkTagTrailerOverhead(b *testing.B) {
@@ -235,7 +256,7 @@ func BenchmarkWorkerScaling(b *testing.B) {
 func addrOf(host, port uint16) simnet.Addr { return simnet.Addr{Host: host, Port: port} }
 
 func benchName(prefix string, n int) string {
-	return prefix + "-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+	return fmt.Sprintf("%s-%d", prefix, n)
 }
 
 // BenchmarkReactorEventThroughput measures raw scheduler throughput:

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only figure1|figure5|deterministic|tradeoff|split|latency|overhead]
+//	experiments [-quick] [-only figure1|figure5|deterministic|tradeoff|split|latency|overhead|loopback]
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
-// shrinks workloads ~20×.
+// shrinks workloads ~20×. All experiments except loopback are
+// deterministic; loopback (E9) uses real UDP sockets and wall-clock
+// time.
 package main
 
 import (
@@ -141,5 +143,18 @@ func main() {
 			r.PlainBytes, r.TaggedBytes, r.TaggedBytes-r.PlainBytes, 100*r.OverheadFraction)
 		fmt.Printf("the %d-byte trailer is the entire wire cost of determinism\n",
 			r.TaggedBytes-r.PlainBytes)
+	})
+
+	run("loopback", func() {
+		n := 500
+		if *quick {
+			n = 50
+		}
+		res, err := exp.RunLoopback(n, 5*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Table())
+		fmt.Println("same runtime and tagged binding as above, real UDP sockets (E9; machine-dependent numbers)")
 	})
 }

@@ -274,6 +274,15 @@ type InstanceID = someip.InstanceID
 // Message is a SOME/IP message (with optional DEAR tag).
 type Message = someip.Message
 
+// Endpoint is the pluggable SOME/IP transport seam: both the simulated
+// binding and the real-socket UDP binding implement it, so everything
+// above the codec is substrate-independent.
+type Endpoint = someip.Endpoint
+
+// EndpointAddr is a substrate-independent endpoint address (simnet.Addr
+// or *net.UDPAddr).
+type EndpointAddr = someip.Addr
+
 // EventID builds the wire identifier for event number n.
 func EventID(n uint16) MethodID { return someip.EventID(n) }
 
@@ -320,3 +329,22 @@ func NewKernel(seed uint64) *Kernel { return des.NewKernel(seed) }
 
 // NewNetwork creates a simulated network on the kernel.
 func NewNetwork(k *Kernel, cfg NetworkConfig) *Network { return simnet.NewNetwork(k, cfg) }
+
+// --- Physical substrate ---
+
+// RealTime drives a kernel at the pace of the physical clock: queued
+// events fire when the wall clock reaches their timestamps, and socket
+// receptions enter the event queue through injection. It is the
+// execution mode behind UDP runtimes.
+type RealTime = des.RealTime
+
+// NewRealTime creates a physical-clock driver for the kernel.
+func NewRealTime(k *Kernel) *RealTime { return des.NewRealTime(k) }
+
+// NewUDPRuntime creates an ara::com runtime over a real UDP socket
+// (addr uses net.ListenUDP semantics, e.g. "127.0.0.1:0"), driven by
+// the real-time driver. UDP runtimes have no service discovery; peers
+// are configured statically with Runtime.StaticProxy.
+func NewUDPRuntime(drv *RealTime, addr string, cfg RuntimeConfig) (*Runtime, error) {
+	return ara.NewUDPRuntime(drv, addr, cfg)
+}

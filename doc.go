@@ -32,4 +32,31 @@
 // transactors; see examples/ for complete pipelines, and internal/apd for
 // the paper's brake-assistant case study in both the stock
 // (nondeterministic) and the DEAR (deterministic) variant.
+//
+// # Choosing a transport
+//
+// The SOME/IP binding is substrate-independent: everything above the
+// codec is written against the Endpoint seam, which two transports
+// implement. The default is the deterministic simulated network — a
+// Runtime created with NewRuntime binds a simnet endpoint, discovers
+// peers through the simulated SD multicast group, and is driven
+// reproducibly by Kernel.Run:
+//
+//	rt, err := dear.NewRuntime(host, dear.RuntimeConfig{Name: "swc", Tagged: true})
+//
+// The deployment path uses real UDP sockets. A Runtime created with
+// NewUDPRuntime binds a socket and is driven by a RealTime driver,
+// which advances the same kernel at wall-clock pace and injects socket
+// receptions as kernel events; peers are configured statically because
+// there is no SD substrate:
+//
+//	drv := dear.NewRealTime(dear.NewKernel(1))
+//	rt, err := dear.NewUDPRuntime(drv, "127.0.0.1:0", dear.RuntimeConfig{Name: "swc", Tagged: true})
+//	px := rt.StaticProxy(iface, instance, peer)
+//	go drv.Run()
+//
+// Proxies, skeletons, futures, the executor and the DEAR tag trailer
+// behave identically in both modes; only time differs — logical and
+// reproducible under simulation, physical under the driver. See
+// cmd/federate for a complete two-federate deployment over loopback.
 package dear

@@ -51,6 +51,10 @@ func NewFuture(k *des.Kernel) *Future { return &Future{k: k} }
 // Done reports whether the future has resolved.
 func (f *Future) Done() bool { return f.done }
 
+// Result returns the resolved result (including the response tag, which
+// Get drops). ok is false while the future is unresolved.
+func (f *Future) Result() (r Result, ok bool) { return f.result, f.done }
+
 // Resolve completes the future. Second and later calls are ignored
 // (e.g. a late response after a timeout).
 func (f *Future) Resolve(r Result) {

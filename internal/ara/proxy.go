@@ -20,12 +20,29 @@ type Proxy struct {
 }
 
 // FindService starts service discovery and invokes cb (as a kernel event)
-// with a ready proxy once the instance is found.
+// with a ready proxy once the instance is found. It panics on runtimes
+// without an SD agent (UDP runtimes); configure those statically with
+// StaticProxy.
 func (rt *Runtime) FindService(si *ServiceInterface, instance someip.InstanceID, cb func(*Proxy)) {
+	if rt.sd == nil {
+		panic("ara: runtime " + rt.name + " has no service discovery; use StaticProxy")
+	}
 	key := someip.ServiceKey{Service: si.ID, Instance: instance}
 	rt.sd.Find(key, func(svc someip.RemoteService) {
 		cb(&Proxy{rt: rt, iface: si, key: key, remote: svc})
 	})
+}
+
+// StaticProxy returns a proxy bound to a statically configured remote
+// endpoint, bypassing service discovery — the deployment-time static
+// configuration path of real AP stacks, and the only discovery mode on
+// substrates without an SD agent (UDP runtimes). The endpoint must be an
+// address of the runtime's own substrate.
+func (rt *Runtime) StaticProxy(si *ServiceInterface, instance someip.InstanceID, endpoint someip.Addr) *Proxy {
+	key := someip.ServiceKey{Service: si.ID, Instance: instance}
+	return &Proxy{rt: rt, iface: si, key: key, remote: someip.RemoteService{
+		Key: key, Major: si.Major, Minor: si.Minor, Endpoint: endpoint,
+	}}
 }
 
 // FindServiceSync blocks the calling process until the service is found
@@ -85,12 +102,19 @@ func (px *Proxy) CallID(method someip.MethodID, args []byte, fireAndForget bool)
 		Payload:          args,
 	}
 	if fireAndForget {
-		px.rt.send(px.remote.Endpoint, m)
+		if err := px.rt.send(px.remote.Endpoint, m); err != nil {
+			return ResolvedFuture(px.rt.k, Result{Err: fmt.Errorf("%w: %v", ErrServiceNotAvailable, err)})
+		}
 		return ResolvedFuture(px.rt.k, Result{})
 	}
 	fut := NewFuture(px.rt.k)
 	px.rt.pending[session] = fut
-	px.rt.send(px.remote.Endpoint, m)
+	if err := px.rt.send(px.remote.Endpoint, m); err != nil {
+		// Fail fast on local send errors (wrong-substrate address, closed
+		// endpoint) instead of leaving the caller to its timeout.
+		delete(px.rt.pending, session)
+		fut.Resolve(Result{Err: fmt.Errorf("%w: %v", ErrServiceNotAvailable, err)})
+	}
 	return fut
 }
 
@@ -110,9 +134,12 @@ func (px *Proxy) SubscribeID(id someip.MethodID, eventgroup uint16, handler func
 	if !id.IsEvent() {
 		return fmt.Errorf("ara: id %#x is not an event", uint16(id))
 	}
+	if px.rt.sd == nil {
+		return fmt.Errorf("ara: runtime %s has no service discovery; eventgroup subscriptions need an SD substrate", px.rt.name)
+	}
 	k := eventKey{px.key.Service, id}
 	px.rt.eventSubs[k] = append(px.rt.eventSubs[k], handler)
-	px.rt.sd.Subscribe(px.key, eventgroup, px.rt.conn.Addr(), ack)
+	px.rt.sd.Subscribe(px.key, eventgroup, px.rt.simAddr(), ack)
 	return nil
 }
 
@@ -124,7 +151,9 @@ func (px *Proxy) Unsubscribe(event string) error {
 		return fmt.Errorf("ara: %s has no event %q", px.iface.Name, event)
 	}
 	delete(px.rt.eventSubs, eventKey{px.key.Service, spec.ID})
-	px.rt.sd.Unsubscribe(px.key, spec.Eventgroup, px.rt.conn.Addr())
+	if px.rt.sd != nil {
+		px.rt.sd.Unsubscribe(px.key, spec.Eventgroup, px.rt.simAddr())
+	}
 	return nil
 }
 

@@ -13,10 +13,12 @@ import (
 // DEAR framework installs a hook to implement the paper's "modified
 // SOME/IP binding": Outgoing pulls a tag from the timestamp bypass and
 // attaches it to the message; Incoming extracts the tag and pushes it to
-// the bypass before the message continues up the standard stack.
+// the bypass before the message continues up the standard stack. The
+// hook sees substrate-independent addresses, so the same hook works over
+// the simulated network and over real UDP sockets.
 type BindingHook interface {
 	Outgoing(m *someip.Message)
-	Incoming(src simnet.Addr, m *someip.Message)
+	Incoming(src someip.Addr, m *someip.Message)
 }
 
 // Config configures a Runtime (one per software component process).
@@ -41,14 +43,20 @@ type Config struct {
 // Runtime is the per-process ara::com runtime: it owns the application
 // endpoint, the SD agent, the worker-thread executor and the
 // request/response bookkeeping.
+//
+// A Runtime runs over a pluggable transport (someip.Endpoint). Two
+// substrates exist today: the deterministic simulated network (via
+// NewRuntime, the default for experiments) and real UDP sockets driven
+// by a physical-clock kernel driver (via NewUDPRuntime).
 type Runtime struct {
-	host *simnet.Host
-	k    *des.Kernel
-	name string
-	cfg  Config
+	host  *simnet.Host // nil for runtimes on real sockets
+	k     *des.Kernel
+	clock *des.LocalClock
+	name  string
+	cfg   Config
 
-	conn     *someip.Conn
-	sd       *someip.Agent
+	conn     someip.Endpoint
+	sd       *someip.Agent // nil without an SD substrate (UDP runtimes)
 	exec     *Executor
 	clientID someip.ClientID
 	session  someip.SessionID
@@ -66,7 +74,9 @@ type eventKey struct {
 	event   someip.MethodID
 }
 
-// NewRuntime creates a runtime on the host.
+// NewRuntime creates a runtime on a simulated host: the endpoint is a
+// simnet binding, service discovery runs over the simulated SD multicast
+// group, and execution is driven deterministically by the host's kernel.
 func NewRuntime(host *simnet.Host, cfg Config) (*Runtime, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("ara: runtime needs a name")
@@ -84,14 +94,54 @@ func NewRuntime(host *simnet.Host, cfg Config) (*Runtime, error) {
 	if clientID == 0 {
 		clientID = someip.ClientID(host.ID()<<8 | ep.Addr().Port&0xff)
 	}
+	rt := newRuntime(k, host.Clock(), cfg, someip.NewConnMTU(ep, cfg.Tagged, cfg.MTU), clientID)
+	rt.host = host
+	rt.sd = sd
+	rt.conn.OnMessage(rt.handle)
+	return rt, nil
+}
+
+// NewUDPRuntime creates a runtime whose endpoint is a real UDP socket
+// (addr uses net.ListenUDP semantics, e.g. "127.0.0.1:0"). The runtime's
+// kernel is driven by the real-time driver: socket receptions are
+// injected as kernel events, so handlers, futures and the executor run
+// on the driver's goroutine exactly as they do under simulation —
+// except that time is now physical.
+//
+// UDP runtimes have no service-discovery agent; peers are configured
+// statically with StaticProxy. Close the runtime when done.
+func NewUDPRuntime(drv *des.RealTime, addr string, cfg Config) (*Runtime, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("ara: runtime needs a name")
+	}
+	conn, err := someip.ListenUDP(addr, cfg.Tagged, cfg.MTU)
+	if err != nil {
+		return nil, err
+	}
+	k := drv.Kernel()
+	clientID := cfg.ClientID
+	if clientID == 0 {
+		clientID = someip.ClientID(conn.Addr().Port)
+	}
+	// The physical clock: kernel time already tracks the wall clock under
+	// the real-time driver, so the local clock is the identity mapping.
+	rt := newRuntime(k, k.NewLocalClock(des.ClockConfig{}, nil), cfg, conn, clientID)
+	rt.conn.OnMessage(func(src someip.Addr, m *someip.Message) {
+		// Handlers must run on the kernel goroutine; the socket reader
+		// hands the message over through the driver's injection queue.
+		drv.Inject(func() { rt.handle(src, m) })
+	})
+	return rt, nil
+}
+
+func newRuntime(k *des.Kernel, clock *des.LocalClock, cfg Config, conn someip.Endpoint, clientID someip.ClientID) *Runtime {
 	rng := k.Rand("ara." + cfg.Name)
-	rt := &Runtime{
-		host:      host,
+	return &Runtime{
 		k:         k,
+		clock:     clock,
 		name:      cfg.Name,
 		cfg:       cfg,
-		conn:      someip.NewConnMTU(ep, cfg.Tagged, cfg.MTU),
-		sd:        sd,
+		conn:      conn,
 		exec:      NewExecutor(k, rng.Stream("exec"), cfg.Exec),
 		clientID:  clientID,
 		pending:   map[someip.SessionID]*Future{},
@@ -99,26 +149,33 @@ func NewRuntime(host *simnet.Host, cfg Config) (*Runtime, error) {
 		eventSubs: map[eventKey][]func(*Ctx, []byte){},
 		rng:       rng,
 	}
-	rt.conn.OnMessage(rt.handle)
-	return rt, nil
 }
 
 // Name returns the runtime's process name.
 func (rt *Runtime) Name() string { return rt.name }
 
-// Host returns the platform the runtime executes on.
+// Host returns the simulated platform the runtime executes on, or nil
+// for runtimes bound to real sockets.
 func (rt *Runtime) Host() *simnet.Host { return rt.host }
 
-// Kernel returns the simulation kernel.
+// Kernel returns the kernel that schedules the runtime's execution.
 func (rt *Runtime) Kernel() *des.Kernel { return rt.k }
 
 // Clock returns the platform's local clock.
-func (rt *Runtime) Clock() *des.LocalClock { return rt.host.Clock() }
+func (rt *Runtime) Clock() *des.LocalClock { return rt.clock }
 
 // Addr returns the application endpoint address.
-func (rt *Runtime) Addr() simnet.Addr { return rt.conn.Addr() }
+func (rt *Runtime) Addr() someip.Addr { return rt.conn.LocalAddr() }
 
-// SD returns the runtime's service-discovery agent.
+// simAddr returns the endpoint address in simulated form. Valid only on
+// runtimes created with NewRuntime (rt.sd != nil implies this).
+func (rt *Runtime) simAddr() simnet.Addr { return rt.conn.LocalAddr().(simnet.Addr) }
+
+// Conn returns the runtime's transport endpoint.
+func (rt *Runtime) Conn() someip.Endpoint { return rt.conn }
+
+// SD returns the runtime's service-discovery agent (nil on runtimes
+// without an SD substrate, such as UDP runtimes).
 func (rt *Runtime) SD() *someip.Agent { return rt.sd }
 
 // Executor returns the runtime's worker pool.
@@ -133,15 +190,24 @@ func (rt *Runtime) ConnStats() (sent, received, decodeErrors uint64) {
 	return rt.conn.Stats()
 }
 
+// Close releases the runtime's endpoint. Pending requests never resolve;
+// call it only when tearing the process down (primarily for UDP
+// runtimes, whose sockets outlive any single kernel run).
+func (rt *Runtime) Close() error { return rt.conn.Close() }
+
 // SetBindingHook installs the DEAR binding hook (see BindingHook).
 func (rt *Runtime) SetBindingHook(h BindingHook) { rt.hook = h }
 
 // send transmits a message through the (possibly hooked) binding.
-func (rt *Runtime) send(dst simnet.Addr, m *someip.Message) {
+// Transmission is best-effort, mirroring the AP stack's lack of a
+// delivery guarantee; the returned error reports local failures only
+// (closed endpoint, wrong-substrate address, segmentation) — most
+// callers drop it, but the proxy uses it to fail calls fast.
+func (rt *Runtime) send(dst someip.Addr, m *someip.Message) error {
 	if rt.hook != nil {
 		rt.hook.Outgoing(m)
 	}
-	rt.conn.Send(dst, m)
+	return rt.conn.Send(dst, m)
 }
 
 func (rt *Runtime) nextSession() someip.SessionID {
@@ -152,7 +218,7 @@ func (rt *Runtime) nextSession() someip.SessionID {
 	return rt.session
 }
 
-func (rt *Runtime) handle(src simnet.Addr, m *someip.Message) {
+func (rt *Runtime) handle(src someip.Addr, m *someip.Message) {
 	if rt.hook != nil {
 		rt.hook.Incoming(src, m)
 	}
@@ -166,7 +232,7 @@ func (rt *Runtime) handle(src simnet.Addr, m *someip.Message) {
 	}
 }
 
-func (rt *Runtime) handleRequest(src simnet.Addr, m *someip.Message) {
+func (rt *Runtime) handleRequest(src someip.Addr, m *someip.Message) {
 	sk, ok := rt.skeletons[m.Service]
 	if !ok || !sk.offered {
 		rt.reply(src, m, nil, someip.EUnknownService)
@@ -202,14 +268,14 @@ func (rt *Runtime) handleRequest(src simnet.Addr, m *someip.Message) {
 	})
 }
 
-func (rt *Runtime) reply(dst simnet.Addr, req *someip.Message, payload []byte, code someip.ReturnCode) {
+func (rt *Runtime) reply(dst someip.Addr, req *someip.Message, payload []byte, code someip.ReturnCode) {
 	rt.replyTagged(dst, req, payload, code, nil)
 }
 
 // replyTagged sends a response; tag, when non-nil, rides the modified
 // binding's tag trailer (the DEAR server method transactor resolves its
 // future with the response tag ts+Ds).
-func (rt *Runtime) replyTagged(dst simnet.Addr, req *someip.Message, payload []byte, code someip.ReturnCode, tag *logical.Tag) {
+func (rt *Runtime) replyTagged(dst someip.Addr, req *someip.Message, payload []byte, code someip.ReturnCode, tag *logical.Tag) {
 	typ := someip.TypeResponse
 	if code != someip.EOK {
 		typ = someip.TypeError

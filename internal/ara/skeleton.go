@@ -96,17 +96,23 @@ func (sk *Skeleton) HandleIDAsync(id someip.MethodID, h AsyncHandler) {
 	sk.handlers[id] = h
 }
 
-// Offer announces the service via SD. Requests arriving before Offer are
-// answered with E_UNKNOWN_SERVICE.
+// Offer makes the service available and, on runtimes with an SD agent,
+// announces it via SD. Requests arriving before Offer are answered with
+// E_UNKNOWN_SERVICE. On SD-less runtimes (UDP) clients reach the service
+// through statically configured endpoints (StaticProxy).
 func (sk *Skeleton) Offer() {
 	sk.offered = true
-	sk.rt.sd.Offer(sk.key, sk.iface.Major, sk.iface.Minor, sk.rt.conn.Addr())
+	if sk.rt.sd != nil {
+		sk.rt.sd.Offer(sk.key, sk.iface.Major, sk.iface.Minor, sk.rt.simAddr())
+	}
 }
 
 // StopOffer withdraws the service.
 func (sk *Skeleton) StopOffer() {
 	sk.offered = false
-	sk.rt.sd.StopOffer(sk.key)
+	if sk.rt.sd != nil {
+		sk.rt.sd.StopOffer(sk.key)
+	}
 }
 
 // Notify raises an event by name, fanning it out to all subscribers.
@@ -119,8 +125,12 @@ func (sk *Skeleton) Notify(event string, payload []byte) error {
 	return nil
 }
 
-// NotifyID raises an event by wire ID and eventgroup.
+// NotifyID raises an event by wire ID and eventgroup. Without an SD
+// agent there are no subscribers and the notification is dropped.
 func (sk *Skeleton) NotifyID(id someip.MethodID, eventgroup uint16, payload []byte) {
+	if sk.rt.sd == nil {
+		return
+	}
 	for _, sub := range sk.rt.sd.Subscribers(sk.key, eventgroup) {
 		sk.rt.send(sub, &someip.Message{
 			Service:          sk.key.Service,

@@ -27,7 +27,6 @@ package core
 import (
 	"repro/internal/ara"
 	"repro/internal/logical"
-	"repro/internal/simnet"
 	"repro/internal/someip"
 )
 
@@ -138,7 +137,7 @@ func (b *Binding) Outgoing(m *someip.Message) {
 }
 
 // Incoming implements ara.BindingHook.
-func (b *Binding) Incoming(src simnet.Addr, m *someip.Message) {
+func (b *Binding) Incoming(src someip.Addr, m *someip.Message) {
 	b.received++
 	if m.Tag != nil {
 		b.recvTags++

@@ -195,6 +195,53 @@ func (k *Kernel) Run(until logical.Time) logical.Time {
 // RunAll executes events until the queue is empty or Stop is called.
 func (k *Kernel) RunAll() logical.Time { return k.Run(logical.Forever) }
 
+// NextEventTime returns the firing time of the earliest queued event.
+// A canceled event may be reported (it is skipped when its time comes),
+// so the result is a lower bound on the next actual firing.
+func (k *Kernel) NextEventTime() (logical.Time, bool) {
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
+}
+
+// RunLive executes every queued event — daemon events included — whose
+// time is at or before until, then advances the clock to until. Unlike
+// Run it does not stop at quiescence: it is the step function for
+// real-time drivers (see RealTime), which interleave RunLive with
+// waiting on the physical clock and injecting external events. Stop is
+// honored.
+func (k *Kernel) RunLive(until logical.Time) logical.Time {
+	if k.running {
+		panic("des: Kernel.RunLive called reentrantly")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.canceled {
+			continue
+		}
+		if !next.daemon {
+			k.pending--
+		}
+		if next.at > k.now {
+			k.now = next.at
+		}
+		k.fired++
+		next.fire()
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return k.now
+}
+
 // Shutdown unblocks every parked or sleeping process with a termination
 // signal so that their goroutines unwind and exit. It must be called after
 // Run returns if processes may still be blocked; otherwise their goroutines

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoopbackRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets skipped with -short")
+	}
+	const n = 16
+	res, err := RunLoopback(n, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != n {
+		t.Errorf("completed %d/%d round trips", res.Completed, n)
+	}
+	if res.TagsEchoed != n {
+		t.Errorf("tagged responses %d/%d — tag trailer lost on the real substrate", res.TagsEchoed, n)
+	}
+	if res.RTTMin <= 0 || res.RTTMax < res.RTTMin || res.RTTMean < res.RTTMin {
+		t.Errorf("implausible RTT stats: min=%v mean=%v max=%v", res.RTTMin, res.RTTMean, res.RTTMax)
+	}
+}
+
+func TestLoopbackValidatesInput(t *testing.T) {
+	if _, err := RunLoopback(0, time.Second); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+}

@@ -32,6 +32,10 @@ const MulticastBase uint16 = 0xFF00
 // IsMulticast reports whether the address denotes a multicast group.
 func (a Addr) IsMulticast() bool { return a.Host >= MulticastBase }
 
+// Network names the substrate, satisfying the transport-independent
+// address interface of the someip package (net.Addr shape).
+func (a Addr) Network() string { return "sim" }
+
 func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Host, a.Port) }
 
 // Datagram is a routed message.

@@ -18,13 +18,15 @@ func (k ServiceKey) String() string {
 	return fmt.Sprintf("%04x.%04x", uint16(k.Service), uint16(k.Instance))
 }
 
-// RemoteService describes a discovered remote service instance.
+// RemoteService describes a remote service instance, either discovered
+// through SD (simulated substrate) or statically configured (any
+// substrate; see ara.Runtime.StaticProxy).
 type RemoteService struct {
 	Key      ServiceKey
 	Major    uint8
 	Minor    uint32
-	Endpoint simnet.Addr // the service's application endpoint
-	SDAddr   simnet.Addr // the offering agent's SD endpoint
+	Endpoint Addr // the service's application endpoint
+	SDAddr   Addr // the offering agent's SD endpoint (nil when static)
 }
 
 // SDGroup is the simulated stand-in for the SOME/IP-SD multicast address
@@ -139,7 +141,7 @@ func (a *Agent) nextSession() SessionID {
 	return a.session
 }
 
-func (a *Agent) send(dst simnet.Addr, entries []Entry) {
+func (a *Agent) send(dst Addr, entries []Entry) {
 	a.conn.Send(dst, NewSDMessage(a.nextSession(), entries))
 }
 
@@ -163,7 +165,7 @@ func (a *Agent) offerEntry(off *localOffer, ttl uint32) Entry {
 	}
 }
 
-func (a *Agent) announce(off *localOffer, dst simnet.Addr) {
+func (a *Agent) announce(off *localOffer, dst Addr) {
 	a.send(dst, []Entry{a.offerEntry(off, a.ttlSeconds())})
 }
 
@@ -272,7 +274,7 @@ func (a *Agent) Subscribers(key ServiceKey, eventgroup uint16) []simnet.Addr {
 	return addrs
 }
 
-func (a *Agent) handle(src simnet.Addr, m *Message) {
+func (a *Agent) handle(src Addr, m *Message) {
 	if !m.IsSD() {
 		return
 	}
@@ -294,7 +296,7 @@ func (a *Agent) handle(src simnet.Addr, m *Message) {
 	}
 }
 
-func (a *Agent) handleFind(src simnet.Addr, e Entry) {
+func (a *Agent) handleFind(src Addr, e Entry) {
 	key := ServiceKey{e.Service, e.Instance}
 	if off, ok := a.offers[key]; ok {
 		// Unicast offer straight back to the requester.
@@ -302,7 +304,7 @@ func (a *Agent) handleFind(src simnet.Addr, e Entry) {
 	}
 }
 
-func (a *Agent) handleOffer(src simnet.Addr, e Entry) {
+func (a *Agent) handleOffer(src Addr, e Entry) {
 	key := ServiceKey{e.Service, e.Instance}
 	if e.TTL == 0 {
 		if r, ok := a.remote[key]; ok {
@@ -336,7 +338,7 @@ func (a *Agent) handleOffer(src simnet.Addr, e Entry) {
 	}
 }
 
-func (a *Agent) handleSubscribe(src simnet.Addr, e Entry) {
+func (a *Agent) handleSubscribe(src Addr, e Entry) {
 	key := ServiceKey{e.Service, e.Instance}
 	off, ok := a.offers[key]
 	if len(e.Options) == 0 || e.Options[0].Type != IPv4EndpointOption {

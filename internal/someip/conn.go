@@ -1,6 +1,8 @@
 package someip
 
 import (
+	"fmt"
+
 	"repro/internal/simnet"
 )
 
@@ -11,13 +13,17 @@ import (
 // messages that carry a tag and strips/exposes trailers on reception.
 // An untagged Conn is a standards-conformant binding that treats trailers
 // as opaque payload bytes.
+//
+// Conn implements Endpoint; handlers run as kernel events at simulated
+// delivery time, so a program using only Conns stays deterministic.
 type Conn struct {
 	ep     *simnet.Endpoint
 	tagged bool
 	mtu    int
 	reasm  *Reassembler
-	onMsg  func(src simnet.Addr, m *Message)
-	onErr  func(src simnet.Addr, err error)
+	closed bool
+	onMsg  func(src Addr, m *Message)
+	onErr  func(src Addr, err error)
 
 	sent      uint64
 	received  uint64
@@ -39,8 +45,11 @@ func NewConnMTU(ep *simnet.Endpoint, tagged bool, mtu int) *Conn {
 	return c
 }
 
-// Addr returns the bound address.
+// Addr returns the bound address in its substrate-specific form.
 func (c *Conn) Addr() simnet.Addr { return c.ep.Addr() }
+
+// LocalAddr returns the bound address.
+func (c *Conn) LocalAddr() Addr { return c.ep.Addr() }
 
 // Endpoint returns the underlying network endpoint.
 func (c *Conn) Endpoint() *simnet.Endpoint { return c.ep }
@@ -54,17 +63,33 @@ func (c *Conn) Stats() (sent, received, decodeErrors uint64) {
 }
 
 // OnMessage installs the inbound message handler. It runs as a kernel
-// event at delivery time.
-func (c *Conn) OnMessage(fn func(src simnet.Addr, m *Message)) { c.onMsg = fn }
+// event at delivery time; src is always a simnet.Addr.
+func (c *Conn) OnMessage(fn func(src Addr, m *Message)) { c.onMsg = fn }
 
 // OnError installs a handler for inbound decode errors (default: drop).
-func (c *Conn) OnError(fn func(src simnet.Addr, err error)) { c.onErr = fn }
+func (c *Conn) OnError(fn func(src Addr, err error)) { c.onErr = fn }
+
+// Close unbinds the underlying endpoint; subsequent sends fail and
+// datagrams sent to it are dropped (UDP semantics).
+func (c *Conn) Close() error {
+	c.closed = true
+	c.ep.Close()
+	return nil
+}
 
 // Send marshals and transmits the message, segmenting via SOME/IP-TP
 // when an MTU is configured. In an untagged binding any Tag on the
 // message is ignored (a standard binding has no way to transmit it) —
 // this models composing DEAR components with unmodified middleware.
-func (c *Conn) Send(dst simnet.Addr, m *Message) {
+// dst must be a simnet.Addr.
+func (c *Conn) Send(dst Addr, m *Message) error {
+	if c.closed {
+		return fmt.Errorf("someip: send on closed Conn")
+	}
+	simDst, ok := dst.(simnet.Addr)
+	if !ok {
+		return fmt.Errorf("someip: Conn.Send to non-simulated address %v (%s)", dst, dst.Network())
+	}
 	if !c.tagged && m.Tag != nil {
 		clone := *m
 		clone.Tag = nil
@@ -79,13 +104,14 @@ func (c *Conn) Send(dst simnet.Addr, m *Message) {
 			if c.onErr != nil {
 				c.onErr(dst, err)
 			}
-			return
+			return err
 		}
 	}
 	for _, seg := range msgs {
 		c.sent++
-		c.ep.Send(dst, seg.Marshal())
+		c.ep.Send(simDst, seg.Marshal())
 	}
+	return nil
 }
 
 func (c *Conn) receive(dg simnet.Datagram) {

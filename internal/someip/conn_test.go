@@ -23,7 +23,7 @@ func connPair(t *testing.T, tagged bool, mtu int) (*des.Kernel, *Conn, *Conn) {
 func TestConnRoundTrip(t *testing.T) {
 	k, a, b := connPair(t, false, 0)
 	var got *Message
-	b.OnMessage(func(src simnet.Addr, m *Message) { got = m })
+	b.OnMessage(func(src Addr, m *Message) { got = m })
 	m := &Message{Service: 1, Method: 2, Type: TypeRequest, Payload: []byte("hi")}
 	k.At(0, func() { a.Send(b.Addr(), m) })
 	k.RunAll()
@@ -40,7 +40,7 @@ func TestConnRoundTrip(t *testing.T) {
 func TestConnTaggedCarriesTag(t *testing.T) {
 	k, a, b := connPair(t, true, 0)
 	var got *Message
-	b.OnMessage(func(src simnet.Addr, m *Message) { got = m })
+	b.OnMessage(func(src Addr, m *Message) { got = m })
 	tag := logical.Tag{Time: 7, Microstep: 1}
 	k.At(0, func() {
 		a.Send(b.Addr(), &Message{Service: 1, Method: 2, Type: TypeNotification, Tag: &tag})
@@ -54,7 +54,7 @@ func TestConnTaggedCarriesTag(t *testing.T) {
 func TestConnUntaggedStripsTag(t *testing.T) {
 	k, a, b := connPair(t, false, 0)
 	var got *Message
-	b.OnMessage(func(src simnet.Addr, m *Message) { got = m })
+	b.OnMessage(func(src Addr, m *Message) { got = m })
 	tag := logical.Tag{Time: 7}
 	k.At(0, func() {
 		a.Send(b.Addr(), &Message{Service: 1, Method: 2, Type: TypeNotification, Payload: []byte("z"), Tag: &tag})
@@ -74,7 +74,7 @@ func TestConnUntaggedStripsTag(t *testing.T) {
 func TestConnSegmentsOverMTU(t *testing.T) {
 	k, a, b := connPair(t, true, 1400)
 	var got *Message
-	b.OnMessage(func(src simnet.Addr, m *Message) { got = m })
+	b.OnMessage(func(src Addr, m *Message) { got = m })
 	payload := make([]byte, 5000)
 	for i := range payload {
 		payload[i] = byte(i * 3)
@@ -105,7 +105,7 @@ func TestConnSegmentsOverMTU(t *testing.T) {
 func TestConnSmallMessageUnsegmented(t *testing.T) {
 	k, a, b := connPair(t, true, 1400)
 	count := 0
-	b.OnMessage(func(src simnet.Addr, m *Message) { count++ })
+	b.OnMessage(func(src Addr, m *Message) { count++ })
 	k.At(0, func() {
 		a.Send(b.Addr(), &Message{Service: 1, Method: 2, Type: TypeRequest, Payload: []byte("s")})
 	})
@@ -124,7 +124,7 @@ func TestConnDecodeErrorSurfaces(t *testing.T) {
 	raw := h1.MustBind(1)
 	conn := NewConn(h2.MustBind(2), false)
 	var gotErr error
-	conn.OnError(func(src simnet.Addr, err error) { gotErr = err })
+	conn.OnError(func(src Addr, err error) { gotErr = err })
 	k.At(0, func() { raw.Send(conn.Addr(), []byte{1, 2, 3}) })
 	k.RunAll()
 	if gotErr == nil {

@@ -1,0 +1,56 @@
+package someip
+
+// Addr is a substrate-independent endpoint address. Both the simulated
+// network's simnet.Addr and the real-socket *net.UDPAddr satisfy it, so
+// everything above the binding (the ara::com runtime, the DEAR binding
+// hook, the transactors) can name peers without knowing which substrate
+// carries the bytes.
+//
+// Addr values of the same substrate are comparable with == in the
+// simulated case (simnet.Addr is a value type); UDP addresses compare by
+// pointer and should be compared via String() when identity matters.
+type Addr interface {
+	// Network names the substrate ("sim" for the simulated switched
+	// Ethernet, "udp" for real sockets).
+	Network() string
+	// String renders the address for logs and diagnostics.
+	String() string
+}
+
+// Endpoint is the pluggable SOME/IP transport: a bound binding instance
+// that marshals outgoing messages onto some substrate and decodes
+// inbound datagrams, dispatching them to the registered handler. It is
+// the seam the paper's "substrate independence" claim rests on — the
+// modified (tagged) binding behaves identically whether the bytes cross
+// the deterministic simulated network (Conn) or a real UDP socket
+// (UDPConn).
+//
+// Handler execution context differs by substrate and is part of each
+// implementation's contract: Conn runs handlers as kernel events at
+// simulated delivery time; UDPConn runs them on its reader goroutine.
+type Endpoint interface {
+	// Send marshals and transmits the message, segmenting via SOME/IP-TP
+	// when an MTU is configured. In an untagged binding any Tag on the
+	// message is dropped (a standard binding has no way to transmit it).
+	// dst must be an address of the endpoint's own substrate.
+	Send(dst Addr, m *Message) error
+	// OnMessage installs the inbound message handler.
+	OnMessage(fn func(src Addr, m *Message))
+	// OnError installs a handler for inbound decode errors (default: drop).
+	OnError(fn func(src Addr, err error))
+	// LocalAddr returns the bound address.
+	LocalAddr() Addr
+	// Tagged reports whether the binding understands DEAR tag trailers.
+	Tagged() bool
+	// Stats returns (messages sent, messages received, decode errors).
+	Stats() (sent, received, decodeErrors uint64)
+	// Close releases the underlying substrate resource. Further sends
+	// fail; inbound traffic is dropped.
+	Close() error
+}
+
+// Both bindings implement the transport seam.
+var (
+	_ Endpoint = (*Conn)(nil)
+	_ Endpoint = (*UDPConn)(nil)
+)

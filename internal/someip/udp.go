@@ -10,18 +10,21 @@ import (
 
 // UDPConn is a SOME/IP binding over a real UDP socket. It serves the
 // same role as Conn does over the simulated network: marshal on send,
-// decode on receive, with optional DEAR tag-trailer support. It exists
-// to demonstrate that the protocol layer is substrate-independent and to
-// allow loopback integration testing against real sockets; deterministic
-// experiments use the simulated transport.
+// decode on receive, with optional DEAR tag-trailer support. It
+// implements Endpoint, which is what makes the protocol layer
+// substrate-independent: an ara runtime constructed over a UDPConn runs
+// the tagged binding against real networks (see ara.NewUDPRuntime),
+// while deterministic experiments use the simulated transport.
+//
+// Handlers run on the connection's reader goroutine.
 type UDPConn struct {
 	pc     *net.UDPConn
 	tagged bool
 	mtu    int
 
 	mu      sync.Mutex
-	onMsg   func(src *net.UDPAddr, m *Message)
-	onErr   func(src *net.UDPAddr, err error)
+	onMsg   func(src Addr, m *Message)
+	onErr   func(src Addr, err error)
 	reasm   *Reassembler
 	started bool
 	closed  atomic.Bool
@@ -53,8 +56,14 @@ func ListenUDP(addr string, tagged bool, mtu int) (*UDPConn, error) {
 	}, nil
 }
 
-// Addr returns the bound UDP address.
+// Addr returns the bound address in its substrate-specific form.
 func (c *UDPConn) Addr() *net.UDPAddr { return c.pc.LocalAddr().(*net.UDPAddr) }
+
+// LocalAddr returns the bound address.
+func (c *UDPConn) LocalAddr() Addr { return c.Addr() }
+
+// Tagged reports whether the binding understands tag trailers.
+func (c *UDPConn) Tagged() bool { return c.tagged }
 
 // Stats returns (sent, received, decode errors).
 func (c *UDPConn) Stats() (sent, received, decodeErrors uint64) {
@@ -62,8 +71,9 @@ func (c *UDPConn) Stats() (sent, received, decodeErrors uint64) {
 }
 
 // OnMessage installs the receive handler and starts the read loop.
-// Handlers run on the connection's reader goroutine.
-func (c *UDPConn) OnMessage(fn func(src *net.UDPAddr, m *Message)) {
+// Handlers run on the connection's reader goroutine; src is always a
+// *net.UDPAddr.
+func (c *UDPConn) OnMessage(fn func(src Addr, m *Message)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onMsg = fn
@@ -74,17 +84,35 @@ func (c *UDPConn) OnMessage(fn func(src *net.UDPAddr, m *Message)) {
 }
 
 // OnError installs the decode-error handler.
-func (c *UDPConn) OnError(fn func(src *net.UDPAddr, err error)) {
+func (c *UDPConn) OnError(fn func(src Addr, err error)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onErr = fn
 }
 
+// resolveUDP coerces a transport address to a *net.UDPAddr, resolving
+// foreign-substrate addresses via their string form so that statically
+// configured peers ("127.0.0.1:40001") can be passed through.
+func resolveUDP(dst Addr) (*net.UDPAddr, error) {
+	if ua, ok := dst.(*net.UDPAddr); ok {
+		return ua, nil
+	}
+	if dst.Network() == "udp" {
+		return net.ResolveUDPAddr("udp", dst.String())
+	}
+	return nil, fmt.Errorf("someip: UDPConn.Send to non-UDP address %v (%s)", dst, dst.Network())
+}
+
 // Send marshals and transmits the message, segmenting via SOME/IP-TP
-// when an MTU is configured and the message exceeds it.
-func (c *UDPConn) Send(dst *net.UDPAddr, m *Message) error {
+// when an MTU is configured and the message exceeds it. dst must be a
+// UDP address.
+func (c *UDPConn) Send(dst Addr, m *Message) error {
 	if c.closed.Load() {
 		return errors.New("someip: send on closed UDPConn")
+	}
+	udpDst, err := resolveUDP(dst)
+	if err != nil {
+		return err
 	}
 	if !c.tagged && m.Tag != nil {
 		clone := *m
@@ -93,14 +121,13 @@ func (c *UDPConn) Send(dst *net.UDPAddr, m *Message) error {
 	}
 	msgs := []*Message{m}
 	if c.mtu > 0 {
-		var err error
 		msgs, err = Segment(m, c.mtu)
 		if err != nil {
 			return err
 		}
 	}
 	for _, seg := range msgs {
-		if _, err := c.pc.WriteToUDP(seg.Marshal(), dst); err != nil {
+		if _, err := c.pc.WriteToUDP(seg.Marshal(), udpDst); err != nil {
 			return fmt.Errorf("someip: send: %w", err)
 		}
 		c.sent.Add(1)
@@ -114,7 +141,10 @@ func (c *UDPConn) Close() error {
 		return nil
 	}
 	err := c.pc.Close()
-	if c.started {
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
 		<-c.done
 	}
 	return err

@@ -42,7 +42,7 @@ func waitFor[T any](t *testing.T, ch <-chan T, what string) T {
 func TestUDPRoundTrip(t *testing.T) {
 	a, b := newUDPPair(t, false, 0)
 	got := make(chan *Message, 1)
-	b.OnMessage(func(src *net.UDPAddr, m *Message) { got <- m })
+	b.OnMessage(func(src Addr, m *Message) { got <- m })
 
 	m := &Message{Service: 0x1234, Method: 1, Client: 2, Session: 3,
 		InterfaceVersion: 1, Type: TypeRequest, Payload: []byte("hello")}
@@ -58,7 +58,7 @@ func TestUDPRoundTrip(t *testing.T) {
 func TestUDPTaggedRoundTrip(t *testing.T) {
 	a, b := newUDPPair(t, true, 0)
 	got := make(chan *Message, 1)
-	b.OnMessage(func(src *net.UDPAddr, m *Message) { got <- m })
+	b.OnMessage(func(src Addr, m *Message) { got <- m })
 
 	tag := logical.Tag{Time: 777, Microstep: 2}
 	m := &Message{Service: 1, Method: 2, Type: TypeNotification, Payload: []byte("x"), Tag: &tag}
@@ -74,7 +74,7 @@ func TestUDPTaggedRoundTrip(t *testing.T) {
 func TestUDPUntaggedBindingStripsTag(t *testing.T) {
 	a, b := newUDPPair(t, false, 0)
 	got := make(chan *Message, 1)
-	b.OnMessage(func(src *net.UDPAddr, m *Message) { got <- m })
+	b.OnMessage(func(src Addr, m *Message) { got <- m })
 
 	tag := logical.Tag{Time: 5}
 	m := &Message{Service: 1, Method: 2, Type: TypeNotification, Payload: []byte("y"), Tag: &tag}
@@ -93,7 +93,7 @@ func TestUDPUntaggedBindingStripsTag(t *testing.T) {
 func TestUDPSegmentationOverLoopback(t *testing.T) {
 	a, b := newUDPPair(t, true, 1400)
 	got := make(chan *Message, 1)
-	b.OnMessage(func(src *net.UDPAddr, m *Message) { got <- m })
+	b.OnMessage(func(src Addr, m *Message) { got <- m })
 
 	payload := make([]byte, 6000)
 	for i := range payload {
@@ -119,7 +119,7 @@ func TestUDPSegmentationOverLoopback(t *testing.T) {
 
 func TestUDPRequestResponse(t *testing.T) {
 	server, client := newUDPPair(t, true, 0)
-	server.OnMessage(func(src *net.UDPAddr, m *Message) {
+	server.OnMessage(func(src Addr, m *Message) {
 		resp := &Message{
 			Service: m.Service, Method: m.Method, Client: m.Client, Session: m.Session,
 			InterfaceVersion: m.InterfaceVersion, Type: TypeResponse, Code: EOK,
@@ -134,7 +134,7 @@ func TestUDPRequestResponse(t *testing.T) {
 		}
 	})
 	got := make(chan *Message, 1)
-	client.OnMessage(func(src *net.UDPAddr, m *Message) { got <- m })
+	client.OnMessage(func(src Addr, m *Message) { got <- m })
 
 	tag := logical.Tag{Time: 10}
 	req := &Message{Service: 9, Method: 1, Client: 1, Session: 42,
@@ -170,8 +170,8 @@ func TestUDPSendAfterClose(t *testing.T) {
 func TestUDPDecodeErrorCounted(t *testing.T) {
 	a, b := newUDPPair(t, false, 0)
 	errs := make(chan error, 1)
-	b.OnError(func(src *net.UDPAddr, err error) { errs <- err })
-	b.OnMessage(func(src *net.UDPAddr, m *Message) {})
+	b.OnError(func(src Addr, err error) { errs <- err })
+	b.OnMessage(func(src Addr, m *Message) {})
 
 	// Raw garbage straight through the socket.
 	raw, err := net.DialUDP("udp", nil, b.Addr())
