@@ -281,6 +281,47 @@ func BenchmarkReactorEventThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFederationScaling is the E10 scaling study: one iteration =
+// one full N-platform mesh run (identical workload and — asserted —
+// identical report in every variant), executed single-kernel and sharded
+// over 2/4/8 federated kernels. On a multi-core host the federated
+// variants run the same simulation in less wall-clock time; on a single
+// core they expose the coordination overhead instead. The cross-link
+// latency doubles as the conservative lookahead, so wider links mean
+// wider windows and fewer barriers.
+func BenchmarkFederationScaling(b *testing.B) {
+	cfg := exp.DefaultMeshConfig(16)
+	cfg.Rounds = 10
+	cfg.NoiseEvents = 3000
+	cfg.NoiseInterval = 20 * logical.Microsecond
+	cfg.LinkLatency = 2 * logical.Millisecond
+
+	ref, err := exp.RunMesh(1, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refReport := ref.Report()
+
+	for _, parts := range []int{1, 2, 4, 8} {
+		b.Run(benchName("partitions", parts), func(b *testing.B) {
+			var events, rounds uint64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunMesh(1, cfg, parts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Report() != refReport {
+					b.Fatal("determinism gate failed: federated report diverged from single-kernel report")
+				}
+				events = res.EventsFired
+				rounds = res.CoordRounds
+			}
+			b.ReportMetric(float64(events), "events/op")
+			b.ReportMetric(float64(rounds), "sync-rounds/op")
+		})
+	}
+}
+
 // BenchmarkDESKernel measures raw simulation-kernel event throughput.
 func BenchmarkDESKernel(b *testing.B) {
 	k := des.NewKernel(1)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only figure1|figure5|deterministic|tradeoff|split|latency|overhead|loopback]
+//	experiments [-quick] [-only figure1|figure5|deterministic|tradeoff|split|latency|overhead|loopback|mesh]
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
 // shrinks workloads ~20×. All experiments except loopback are
@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 	"time"
 
 	"repro/internal/apd"
@@ -23,138 +25,190 @@ import (
 	"repro/internal/logical"
 )
 
+type experiment struct {
+	name string
+	run  func()
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	only := flag.String("only", "", "run a single experiment")
 	flag.Parse()
 
 	f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames := 20000, 20, 100000, 20000, 3, 5000
+	meshN, meshRounds, meshNoise := 16, 40, 2000
 	if *quick {
 		f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames = 2000, 10, 5000, 2000, 2, 1000
+		meshN, meshRounds, meshNoise = 8, 10, 200
 	}
 
-	run := func(name string, fn func()) {
-		if *only != "" && *only != name {
-			return
-		}
-		t0 := time.Now()
-		fmt.Printf("=== %s ===\n", name)
-		fn()
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
-	}
+	experiments := []experiment{
+		{"figure1", func() {
+			res, err := exp.RunFigure1(1, exp.DefaultFigure1Config(f1Trials))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("non-blocking client, %d trials:\n%s", f1Trials, res.Table())
+			cfg := exp.DefaultFigure1Config(f1Trials / 10)
+			cfg.Blocking = true
+			fixed, err := exp.RunFigure1(1, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nblocking client (the fix), %d trials: P(3) = %.3f\n",
+				cfg.Trials, fixed.Probability(3))
+		}},
 
-	run("figure1", func() {
-		res, err := exp.RunFigure1(1, exp.DefaultFigure1Config(f1Trials))
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("non-blocking client, %d trials:\n%s", f1Trials, res.Table())
-		cfg := exp.DefaultFigure1Config(f1Trials / 10)
-		cfg.Blocking = true
-		fixed, err := exp.RunFigure1(1, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nblocking client (the fix), %d trials: P(3) = %.3f\n",
-			cfg.Trials, fixed.Probability(3))
-	})
+		{"figure5", func() {
+			res, err := exp.RunFigure5(2024, f5Inst, f5Frames)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Table())
+			min, mean, max := res.Stats()
+			fmt.Printf("prevalence: min=%.3f%% mean=%.3f%% max=%.3f%%\n", min, mean, max)
+			fmt.Println("paper      : min=0.018% mean=5.60% max=22.25% (100k frames)")
+		}},
 
-	run("figure5", func() {
-		res, err := exp.RunFigure5(2024, f5Inst, f5Frames)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(res.Table())
-		min, mean, max := res.Stats()
-		fmt.Printf("prevalence: min=%.3f%% mean=%.3f%% max=%.3f%%\n", min, mean, max)
-		fmt.Println("paper      : min=0.018% mean=5.60% max=22.25% (100k frames)")
-	})
+		{"deterministic", func() {
+			results, err := exp.RunDeterminismCheck(1, detSeeds, detFrames)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, r := range results {
+				fmt.Printf("seed %d: errors=%d processed=%d/%d latency mean=%v max=%v brakes=%d behaviour=%016x\n",
+					i+1, r.Counters.TotalErrors(), r.Counters.FramesProcessed, detFrames,
+					r.LatencyMean, r.LatencyMax, r.BrakeOns, r.BehaviorHash)
+			}
+			fmt.Println("behaviour identical across physical seeds; zero errors (paper: \"correct and deterministic execution\")")
+		}},
 
-	run("deterministic", func() {
-		results, err := exp.RunDeterminismCheck(1, detSeeds, detFrames)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i, r := range results {
-			fmt.Printf("seed %d: errors=%d processed=%d/%d latency mean=%v max=%v brakes=%d behaviour=%016x\n",
-				i+1, r.Counters.TotalErrors(), r.Counters.FramesProcessed, detFrames,
-				r.LatencyMean, r.LatencyMax, r.BrakeOns, r.BehaviorHash)
-		}
-		fmt.Println("behaviour identical across physical seeds; zero errors (paper: \"correct and deterministic execution\")")
-	})
+		{"tradeoff", func() {
+			res, err := exp.RunTradeoff(1, toFrames, []float64{0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0, 1.2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Table())
+			fmt.Println("lower deadline scale: lower latency, sporadic observable errors (Section IV-B trade-off)")
+		}},
 
-	run("tradeoff", func() {
-		res, err := exp.RunTradeoff(1, toFrames, []float64{0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0, 1.2})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(res.Table())
-		fmt.Println("lower deadline scale: lower latency, sporadic observable errors (Section IV-B trade-off)")
-	})
-
-	run("split", func() {
-		cfg := apd.DefaultDeterministicConfig(detFrames)
-		cfg.SplitPlatforms = true
-		cfg.DriftPPB = 30_000
-		cfg.SyncBound = logical.Millisecond
-		cfg.ClockError = 2500 * logical.Microsecond
-		// Deadlines must additionally cover clock-resync jumps (2×bound).
-		cfg.VADeadline += 3 * logical.Millisecond
-		cfg.PreDeadline += 3 * logical.Millisecond
-		cfg.CVDeadline += 3 * logical.Millisecond
-		cfg.EBADeadline += 3 * logical.Millisecond
-		d, err := apd.NewDeterministic(1, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		c := d.Run()
-		single, err := apd.NewDeterministic(1, apd.DefaultDeterministicConfig(detFrames))
-		if err != nil {
-			log.Fatal(err)
-		}
-		single.Run()
-		identical := len(d.BrakeSeq) == len(single.BrakeSeq)
-		if identical {
-			for i := range d.BrakeSeq {
-				if d.BrakeSeq[i] != single.BrakeSeq[i] {
-					identical = false
-					break
+		{"split", func() {
+			cfg := apd.DefaultDeterministicConfig(detFrames)
+			cfg.SplitPlatforms = true
+			cfg.DriftPPB = 30_000
+			cfg.SyncBound = logical.Millisecond
+			cfg.ClockError = 2500 * logical.Microsecond
+			// Deadlines must additionally cover clock-resync jumps (2×bound).
+			cfg.VADeadline += 3 * logical.Millisecond
+			cfg.PreDeadline += 3 * logical.Millisecond
+			cfg.CVDeadline += 3 * logical.Millisecond
+			cfg.EBADeadline += 3 * logical.Millisecond
+			d, err := apd.NewDeterministic(1, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c := d.Run()
+			single, err := apd.NewDeterministic(1, apd.DefaultDeterministicConfig(detFrames))
+			if err != nil {
+				log.Fatal(err)
+			}
+			single.Run()
+			identical := len(d.BrakeSeq) == len(single.BrakeSeq)
+			if identical {
+				for i := range d.BrakeSeq {
+					if d.BrakeSeq[i] != single.BrakeSeq[i] {
+						identical = false
+						break
+					}
 				}
 			}
-		}
-		fmt.Printf("CV+EBA on a third platform (±30ppm drift, ±1ms sync, E=2.5ms):\n")
-		fmt.Printf("errors=%d processed=%d/%d, behaviour identical to single-platform: %v\n",
-			c.TotalErrors(), c.FramesProcessed, detFrames, identical)
-		fmt.Println("distribution across imperfectly-synchronized platforms is semantically invisible")
-	})
+			fmt.Printf("CV+EBA on a third platform (±30ppm drift, ±1ms sync, E=2.5ms):\n")
+			fmt.Printf("errors=%d processed=%d/%d, behaviour identical to single-platform: %v\n",
+				c.TotalErrors(), c.FramesProcessed, detFrames, identical)
+			fmt.Println("distribution across imperfectly-synchronized platforms is semantically invisible")
+		}},
 
-	run("latency", func() {
-		res, err := exp.RunLatencyComparison(1, toFrames)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(res.Table())
-		fmt.Println("DEAR trades average latency for a bounded, error-free profile (Section IV-B)")
-	})
+		{"latency", func() {
+			res, err := exp.RunLatencyComparison(1, toFrames)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Table())
+			fmt.Println("DEAR trades average latency for a bounded, error-free profile (Section IV-B)")
+		}},
 
-	run("overhead", func() {
-		r := exp.MeasureTagOverhead()
-		fmt.Printf("frame notification: %d bytes untagged, %d bytes tagged (+%d bytes, %.2f%%)\n",
-			r.PlainBytes, r.TaggedBytes, r.TaggedBytes-r.PlainBytes, 100*r.OverheadFraction)
-		fmt.Printf("the %d-byte trailer is the entire wire cost of determinism\n",
-			r.TaggedBytes-r.PlainBytes)
-	})
+		{"overhead", func() {
+			r := exp.MeasureTagOverhead()
+			fmt.Printf("frame notification: %d bytes untagged, %d bytes tagged (+%d bytes, %.2f%%)\n",
+				r.PlainBytes, r.TaggedBytes, r.TaggedBytes-r.PlainBytes, 100*r.OverheadFraction)
+			fmt.Printf("the %d-byte trailer is the entire wire cost of determinism\n",
+				r.TaggedBytes-r.PlainBytes)
+		}},
 
-	run("loopback", func() {
-		n := 500
-		if *quick {
-			n = 50
+		{"loopback", func() {
+			n := 500
+			if *quick {
+				n = 50
+			}
+			res, err := exp.RunLoopback(n, 5*time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Table())
+			fmt.Println("same runtime and tagged binding as above, real UDP sockets (E9; machine-dependent numbers)")
+		}},
+
+		{"mesh", func() {
+			cfg := exp.DefaultMeshConfig(meshN)
+			cfg.Rounds = meshRounds
+			cfg.NoiseEvents = meshNoise
+			single, err := exp.RunMesh(1, cfg, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			parts := 4
+			fed, err := exp.RunMesh(1, cfg, parts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(fed.Table())
+			identical := fed.Report() == single.Report()
+			fmt.Printf("%d platforms: single kernel fired %d events; %d federated kernels fired %d events over %d coordination rounds\n",
+				meshN, single.EventsFired, fed.Partitions, fed.EventsFired, fed.CoordRounds)
+			fmt.Printf("federated report byte-identical to single-kernel report: %v\n", identical)
+			if !identical {
+				log.Fatal("E10 determinism gate FAILED")
+			}
+			fmt.Println("conservative synchronization shards the simulation without changing a single byte (E10)")
+		}},
+	}
+
+	if *only != "" {
+		found := false
+		for _, e := range experiments {
+			if e.name == *only {
+				found = true
+				break
+			}
 		}
-		res, err := exp.RunLoopback(n, 5*time.Second)
-		if err != nil {
-			log.Fatal(err)
+		if !found {
+			names := make([]string, len(experiments))
+			for i, e := range experiments {
+				names[i] = e.name
+			}
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; valid choices: %s\n",
+				*only, strings.Join(names, ", "))
+			os.Exit(2)
 		}
-		fmt.Print(res.Table())
-		fmt.Println("same runtime and tagged binding as above, real UDP sockets (E9; machine-dependent numbers)")
-	})
+	}
+
+	for _, e := range experiments {
+		if *only != "" && *only != e.name {
+			continue
+		}
+		t0 := time.Now()
+		fmt.Printf("=== %s ===\n", e.name)
+		e.run()
+		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
 }

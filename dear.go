@@ -330,6 +330,39 @@ func NewKernel(seed uint64) *Kernel { return des.NewKernel(seed) }
 // NewNetwork creates a simulated network on the kernel.
 func NewNetwork(k *Kernel, cfg NetworkConfig) *Network { return simnet.NewNetwork(k, cfg) }
 
+// --- Sharded (federated) simulation ---
+
+// Federation shards a deterministic simulation across several kernels
+// running in parallel under conservative (LBTS / null-message style)
+// time synchronization. Same seed, same bytes — for every partition
+// count and GOMAXPROCS value.
+type Federation = des.Federation
+
+// FederationChannel is a timestamped inter-federate link with a
+// conservative lookahead.
+type FederationChannel = des.Channel
+
+// Cluster partitions a simulated network across the kernels of a
+// Federation: intra-partition traffic schedules locally, cross-partition
+// traffic rides federation channels whose lookahead is the link's
+// minimum latency.
+type Cluster = simnet.Cluster
+
+// MinLatencyModel is a latency model with a known lower bound — required
+// on cross-partition links, where the bound supplies the lookahead.
+type MinLatencyModel = simnet.MinLatencyModel
+
+// NewFederation creates a federation of partition kernels, all derived
+// from the same seed.
+func NewFederation(seed uint64, partitions int) *Federation {
+	return des.NewFederation(seed, partitions)
+}
+
+// NewCluster creates a partitioned network over the federation.
+func NewCluster(fed *Federation, cfg NetworkConfig) (*Cluster, error) {
+	return simnet.NewCluster(fed, cfg)
+}
+
 // --- Physical substrate ---
 
 // RealTime drives a kernel at the pace of the physical clock: queued

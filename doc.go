@@ -59,4 +59,29 @@
 // behave identically in both modes; only time differs — logical and
 // reproducible under simulation, physical under the driver. See
 // cmd/federate for a complete two-federate deployment over loopback.
+//
+// # Sharded simulation
+//
+// Large topologies need not run on one sequential kernel. A Federation
+// owns one kernel per partition, executed on its own goroutine under
+// conservative (LBTS / null-message style) time synchronization, and a
+// Cluster partitions the simulated network across them: intra-partition
+// links schedule locally, cross-partition links become timestamped
+// inter-federate channels whose minimum latency supplies the lookahead.
+// Runtimes are pinned to their partition's kernel transparently —
+// NewRuntime against a Cluster host works unchanged:
+//
+//	fed := dear.NewFederation(seed, 4)
+//	cluster, err := dear.NewCluster(fed, dear.NetworkConfig{
+//	    DefaultLatency: dear.FixedLatency(200 * dear.Microsecond),
+//	})
+//	host := cluster.AddHost(0, "ecu0", nil) // partition 0
+//	rt, err := dear.NewRuntime(host, dear.RuntimeConfig{Name: "swc"})
+//	fed.RunAll()
+//
+// Sharded runs preserve the repo's defining property: the same seed
+// produces byte-identical behaviour for every partition count and every
+// GOMAXPROCS value (experiment E10 gates this). Cross-partition links
+// must use RNG-free latency models (see simnet.Cluster for the full
+// determinism contract).
 package dear

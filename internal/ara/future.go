@@ -66,8 +66,8 @@ func (f *Future) Resolve(r Result) {
 	cbs := f.cbs
 	f.cbs = nil
 	for _, cb := range cbs {
-		r := r
-		f.k.After(0, func() { cb(r) })
+		cb := cb
+		f.k.AfterTransient(0, func() { cb(r) })
 	}
 	for _, w := range f.waiters {
 		w.Unpark()
@@ -80,7 +80,7 @@ func (f *Future) Resolve(r Result) {
 func (f *Future) Then(cb func(Result)) {
 	if f.done {
 		r := f.result
-		f.k.After(0, func() { cb(r) })
+		f.k.AfterTransient(0, func() { cb(r) })
 		return
 	}
 	f.cbs = append(f.cbs, cb)

@@ -1,0 +1,315 @@
+package des
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/logical"
+)
+
+// Federation shards a deterministic simulation across several Kernels,
+// one per partition, executed on their own goroutines under conservative
+// (LBTS / null-message style) time synchronization.
+//
+// The model follows the PTIDES/HLA conservative regime the paper's
+// federated deployment relies on: inter-partition communication flows
+// exclusively through timestamped Channels, each declaring a positive
+// lookahead — a lower bound on the latency of anything crossing it. The
+// coordinator repeatedly grants every kernel a window bounded by the
+// minimum of (earliest possible send time of each upstream partition +
+// that channel's lookahead); kernels execute their windows in parallel
+// and exchange messages only at the barrier between rounds. Because
+// cross-partition messages always carry timestamps at or beyond the
+// receiver's granted horizon, every kernel still fires its events in
+// strict (time, sequence) order, and the federation as a whole remains a
+// pure function of its seed: the same seed produces the same results for
+// every partition count and every GOMAXPROCS value.
+//
+// All partition kernels are created from the same root seed, so a named
+// random stream (Kernel.Rand(label)) yields the same sequence regardless
+// of which partition consumes it. A simulation whose components draw
+// only from component-labeled streams therefore produces byte-identical
+// results whether it runs on one kernel or on a federation — the
+// property the cross-mode determinism tests pin down.
+type Federation struct {
+	kernels []*Kernel
+	chans   []*Channel
+	inbound [][]*Channel // per-target-partition, in creation order
+	running bool
+	rounds  uint64
+}
+
+// Channel is a timestamped inter-federate link from one partition to
+// another. Messages sent through it are delivered to the target kernel as
+// events at their timestamps; the declared lookahead is the conservative
+// contract: every Send must carry a timestamp at least lookahead beyond
+// the sender's current time.
+type Channel struct {
+	fed       *Federation
+	from, to  int
+	lookahead logical.Duration
+	// queue buffers messages produced during the sender's current window;
+	// it is written only by the sender kernel's goroutine and drained only
+	// by the coordinator at the barrier, so no lock is needed.
+	queue []fedMsg
+	sent  uint64
+}
+
+type fedMsg struct {
+	at      logical.Time
+	deliver func()
+}
+
+// NewFederation creates a federation of the given number of partition
+// kernels. Every kernel derives from the same seed so that labeled
+// random streams are identical across partition assignments (and match a
+// single kernel created with the same seed).
+func NewFederation(seed uint64, partitions int) *Federation {
+	if partitions <= 0 {
+		panic("des: federation needs at least one partition")
+	}
+	f := &Federation{
+		kernels: make([]*Kernel, partitions),
+		inbound: make([][]*Channel, partitions),
+	}
+	for i := range f.kernels {
+		f.kernels[i] = NewKernel(seed)
+	}
+	return f
+}
+
+// Partitions returns the number of partition kernels.
+func (f *Federation) Partitions() int { return len(f.kernels) }
+
+// Kernel returns partition i's kernel.
+func (f *Federation) Kernel(i int) *Kernel { return f.kernels[i] }
+
+// Rounds returns the number of coordination rounds executed so far (a
+// cost metric: each round is one barrier).
+func (f *Federation) Rounds() uint64 { return f.rounds }
+
+// EventsFired sums the events executed across all partitions.
+func (f *Federation) EventsFired() uint64 {
+	var n uint64
+	for _, k := range f.kernels {
+		n += k.EventsFired()
+	}
+	return n
+}
+
+// Channel creates an inter-federate link from partition `from` to
+// partition `to` with the given lookahead. Lookahead must be positive:
+// conservative synchronization cannot make progress through a
+// zero-latency cross-partition link.
+func (f *Federation) Channel(from, to int, lookahead logical.Duration) *Channel {
+	if f.running {
+		panic("des: Federation.Channel called while running")
+	}
+	if from == to {
+		panic("des: federation channel must cross partitions")
+	}
+	if lookahead <= 0 {
+		panic("des: federation channel needs positive lookahead")
+	}
+	c := &Channel{fed: f, from: from, to: to, lookahead: lookahead}
+	f.chans = append(f.chans, c)
+	f.inbound[to] = append(f.inbound[to], c)
+	return c
+}
+
+// Lookahead returns the channel's conservative latency bound.
+func (c *Channel) Lookahead() logical.Duration { return c.lookahead }
+
+// SetLookahead lowers (or raises) the channel's lookahead. It may only be
+// called before the federation runs — typically when a link latency model
+// with a smaller minimum is installed after topology construction.
+func (c *Channel) SetLookahead(d logical.Duration) {
+	if c.fed.running {
+		panic("des: Channel.SetLookahead called while running")
+	}
+	if d <= 0 {
+		panic("des: federation channel needs positive lookahead")
+	}
+	c.lookahead = d
+}
+
+// Sent returns the number of messages that crossed the channel.
+func (c *Channel) Sent() uint64 { return c.sent }
+
+// Send enqueues a message for delivery at time `at` on the target kernel.
+// It must be called from the sending kernel's execution context (inside a
+// firing event or process), and `at` must respect the lookahead contract.
+// The deliver closure runs as an event on the target kernel.
+func (c *Channel) Send(at logical.Time, deliver func()) {
+	sender := c.fed.kernels[c.from]
+	if at < sender.now.Add(c.lookahead) {
+		panic(fmt.Sprintf(
+			"des: federation channel %d->%d: send at %v violates lookahead %v (sender now %v)",
+			c.from, c.to, at, c.lookahead, sender.now))
+	}
+	c.queue = append(c.queue, fedMsg{at: at, deliver: deliver})
+	c.sent++
+}
+
+// drain injects every buffered cross-partition message into its target
+// kernel. Called only at the barrier. Channels are visited in creation
+// order and messages in FIFO order, so event sequence numbers — and with
+// them tie-breaking — are deterministic.
+func (f *Federation) drain() {
+	for _, c := range f.chans {
+		target := f.kernels[c.to]
+		for _, m := range c.queue {
+			target.AtTransient(m.at, m.deliver)
+		}
+		c.queue = c.queue[:0]
+	}
+}
+
+func (f *Federation) totalPending() int {
+	n := 0
+	for _, k := range f.kernels {
+		n += k.Pending()
+	}
+	return n
+}
+
+// Run executes the federation until only daemon events remain anywhere
+// (the federated analogue of a single kernel going quiescent) or every
+// next event lies strictly beyond the until horizon. It returns the
+// latest simulated time reached by any partition.
+//
+// Within a coordination round, each kernel advances through every event
+// — daemon events included — inside its granted window, mirroring how a
+// single kernel interleaves daemon housekeeping with pending work while
+// the global simulation is still live. At the end of the run a partition
+// may have fired housekeeping daemons slightly past the instant at which
+// a single kernel would have stopped; scenario reports must not depend
+// on daemon-only tail activity (see the cross-mode determinism tests).
+func (f *Federation) Run(until logical.Time) logical.Time {
+	if f.running {
+		panic("des: Federation.Run called reentrantly")
+	}
+	f.running = true
+	defer func() { f.running = false }()
+
+	n := len(f.kernels)
+	eot := make([]logical.Time, n)
+	lbts := make([]logical.Time, n)
+	window := make([]logical.Time, n)
+	for {
+		f.drain()
+		if f.totalPending() == 0 {
+			break
+		}
+
+		// Earliest output time per partition: the time of its next queued
+		// event (daemon events can send too), or Forever when idle.
+		for i, k := range f.kernels {
+			if t, ok := k.NextEventTime(); ok {
+				eot[i] = t
+			} else {
+				eot[i] = logical.Forever
+			}
+		}
+
+		// LBTS fixpoint: lbts[i] is a lower bound on the time of any event
+		// that can still occur at partition i, accounting for transitive
+		// cross-partition influence. Converges in at most n sweeps because
+		// every channel has positive lookahead.
+		copy(lbts, eot)
+		for sweep := 0; sweep < n; sweep++ {
+			changed := false
+			for _, c := range f.chans {
+				if b := lbts[c.from].Add(c.lookahead); b < lbts[c.to] {
+					lbts[c.to] = b
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+
+		// maxFinite bounds windows that would otherwise be unbounded (no
+		// inbound channels under an infinite horizon): running such a
+		// partition to local quiescence in one go would either skip its
+		// daemon events or chase a cyclic daemon forever. Some lbts entry is
+		// finite here because totalPending > 0.
+		maxFinite := logical.Time(0)
+		for i := 0; i < n; i++ {
+			if lbts[i] < logical.Forever && lbts[i] > maxFinite {
+				maxFinite = lbts[i]
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			grant := logical.Forever
+			for _, c := range f.inbound[i] {
+				if b := lbts[c.from].Add(c.lookahead); b < grant {
+					grant = b
+				}
+			}
+			w := until
+			if grant < logical.Forever && grant-1 < w {
+				// Strictly below the grant: an inbound message may arrive at
+				// exactly grant and must still be able to win a tie there.
+				w = grant - 1
+			}
+			if w == logical.Forever {
+				w = maxFinite
+			}
+			window[i] = w
+		}
+
+		// Execute the granted windows in parallel: the conservative grant
+		// guarantees no kernel can receive input inside its window, so the
+		// only cross-goroutine state is the channel queues, which are
+		// per-sender and drained after the barrier.
+		var wg sync.WaitGroup
+		ran := false
+		for i, k := range f.kernels {
+			if eot[i] > window[i] {
+				continue
+			}
+			ran = true
+			wg.Add(1)
+			go func(k *Kernel, w logical.Time) {
+				defer wg.Done()
+				k.RunLive(w)
+			}(k, window[i])
+		}
+		wg.Wait()
+		f.rounds++
+		if !ran {
+			// Every next event lies beyond the horizon.
+			break
+		}
+	}
+
+	latest := logical.Time(0)
+	for _, k := range f.kernels {
+		if until < logical.Forever && k.now < until {
+			k.now = until
+		}
+		if k.now > latest {
+			latest = k.now
+		}
+	}
+	return latest
+}
+
+// RunAll executes the federation until global quiescence.
+func (f *Federation) RunAll() logical.Time { return f.Run(logical.Forever) }
+
+// Shutdown unwinds every partition's blocked processes (see
+// Kernel.Shutdown). Call it after Run returns.
+func (f *Federation) Shutdown() {
+	for _, k := range f.kernels {
+		k.Shutdown()
+	}
+}
+
+func (f *Federation) String() string {
+	return fmt.Sprintf("federation(partitions=%d channels=%d rounds=%d)",
+		len(f.kernels), len(f.chans), f.rounds)
+}

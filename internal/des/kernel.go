@@ -31,7 +31,12 @@ type Event struct {
 	fire     func()
 	daemon   bool
 	canceled bool
-	index    int // heap index, -1 once popped
+	// transient marks events scheduled through AtTransient/AfterTransient:
+	// no reference escapes to the caller, so the kernel recycles the Event
+	// through its free list after firing. Cancel can never reach a
+	// transient event, which is what makes recycling safe.
+	transient bool
+	index     int // heap index, -1 once popped
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -94,6 +99,9 @@ type Kernel struct {
 	shutdown bool
 	fired    uint64
 	rootRand *Rand
+	// free recycles transient Events: scheduling is the hot path shared by
+	// every federated kernel, and pooling removes the per-event allocation.
+	free []*Event
 }
 
 // NewKernel returns a kernel whose clock starts at time zero and whose
@@ -139,16 +147,52 @@ func (k *Kernel) AfterDaemon(d logical.Duration, fn func()) *Event {
 }
 
 func (k *Kernel) schedule(t logical.Time, daemon bool, fn func()) *Event {
+	e := k.scheduleReuse(t, daemon, fn, false)
+	return e
+}
+
+// AtTransient schedules fn at simulated time t without returning a handle.
+// The event cannot be canceled; in exchange the kernel recycles its Event
+// structure after firing, eliminating the per-event allocation on hot
+// scheduling paths (network delivery, mailbox puts, future resolution).
+func (k *Kernel) AtTransient(t logical.Time, fn func()) {
+	k.scheduleReuse(t, false, fn, true)
+}
+
+// AfterTransient schedules fn to run d from now as a transient event (see
+// AtTransient).
+func (k *Kernel) AfterTransient(d logical.Duration, fn func()) {
+	k.scheduleReuse(k.now.Add(d), false, fn, true)
+}
+
+func (k *Kernel) scheduleReuse(t logical.Time, daemon bool, fn func(), transient bool) *Event {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	e := &Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon}
+	var e *Event
+	if n := len(k.free); transient && n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*e = Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon, transient: true}
+	} else {
+		e = &Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon, transient: transient}
+	}
 	heap.Push(&k.queue, e)
 	if !daemon {
 		k.pending++
 	}
 	return e
+}
+
+// recycle returns a fired transient event to the free list. Only transient
+// events are pooled: handles returned by At/After may be held (and
+// canceled) long after firing, and reusing them would let a stale Cancel
+// hit an unrelated future event.
+func (k *Kernel) recycle(e *Event) {
+	e.fire = nil
+	k.free = append(k.free, e)
 }
 
 // Stop makes Run return after the currently firing event completes.
@@ -183,6 +227,9 @@ func (k *Kernel) Run(until logical.Time) logical.Time {
 		}
 		k.fired++
 		next.fire()
+		if next.transient {
+			k.recycle(next)
+		}
 	}
 	if !k.stopped && k.now < until && until < logical.Forever {
 		// The simulation went quiescent before the horizon; advance the
@@ -235,6 +282,9 @@ func (k *Kernel) RunLive(until logical.Time) logical.Time {
 		}
 		k.fired++
 		next.fire()
+		if next.transient {
+			k.recycle(next)
+		}
 	}
 	if k.now < until {
 		k.now = until
@@ -257,6 +307,11 @@ func (k *Kernel) Shutdown() {
 
 // QueueLen reports the number of pending (possibly canceled) events.
 func (k *Kernel) QueueLen() int { return len(k.queue) }
+
+// Pending reports the number of queued non-daemon, non-canceled events —
+// the count that keeps Run alive. The federation coordinator uses it for
+// global quiescence detection across kernels.
+func (k *Kernel) Pending() int { return k.pending }
 
 func (k *Kernel) String() string {
 	return fmt.Sprintf("kernel(now=%s queued=%d fired=%d)", k.now, len(k.queue), k.fired)

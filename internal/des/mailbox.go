@@ -34,12 +34,12 @@ func (m *Mailbox[T]) Put(v T) {
 
 // PutAt schedules the item to be enqueued at simulated time t.
 func (m *Mailbox[T]) PutAt(t logical.Time, v T) {
-	m.k.At(t, func() { m.Put(v) })
+	m.k.AtTransient(t, func() { m.Put(v) })
 }
 
 // PutAfter schedules the item to be enqueued d from now.
 func (m *Mailbox[T]) PutAfter(d logical.Duration, v T) {
-	m.k.After(d, func() { m.Put(v) })
+	m.k.AfterTransient(d, func() { m.Put(v) })
 }
 
 // TryRecv dequeues an item without blocking. ok is false when empty.

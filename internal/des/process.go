@@ -90,7 +90,7 @@ func (k *Kernel) SpawnAt(t logical.Time, name string, body func(p *Process)) *Pr
 		}()
 		body(p)
 	}()
-	k.At(t, func() { p.dispatch(resumeSignal{}) })
+	k.AtTransient(t, func() { p.dispatch(resumeSignal{}) })
 	return p
 }
 
@@ -179,7 +179,7 @@ func (p *Process) WaitUntilInterruptible(t logical.Time) (interrupted bool) {
 // no-op if the process is not blocked in an interruptible operation at
 // delivery time.
 func (p *Process) Interrupt() {
-	p.k.At(p.k.now, func() {
+	p.k.AtTransient(p.k.now, func() {
 		if !p.interruptible {
 			return
 		}
@@ -207,7 +207,7 @@ func (p *Process) Park() (interrupted bool) {
 // Unpark wakes a parked process at the current simulated time. No-op if
 // the process is not parked when the wake event fires.
 func (p *Process) Unpark() {
-	p.k.At(p.k.now, func() {
+	p.k.AtTransient(p.k.now, func() {
 		if p.state != procBlocked {
 			return
 		}

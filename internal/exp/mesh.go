@@ -1,0 +1,435 @@
+package exp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/ara"
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/someip"
+)
+
+// --- Experiment E10: federated N-platform client/server mesh ---
+//
+// The paper federates DEAR runtimes across two physical ECUs; industry
+// deployments of the Adaptive Platform run far larger topologies. E10
+// scales the simulated substrate to N platforms and executes the same
+// scenario in two modes: on one sequential kernel (the classic
+// substrate) and sharded across a des.Federation with one kernel per
+// partition under conservative time synchronization. The determinism
+// gate requires the two modes to produce byte-identical reports for
+// every seed and partition count — the defining property of the repo
+// ("same seed, same bytes") survives sharding.
+
+// MeshConfig parameterizes the E10 scenario. The generator derives a
+// full N-platform topology from it: every platform runs one ara runtime
+// offering a "compute" service and one client that round-robins blocking
+// calls over its K ring neighbors, plus a local background load
+// generator (dense intra-platform traffic that gives each partition
+// real work between cross-partition barriers).
+type MeshConfig struct {
+	// Platforms is N, the number of simulated ECUs.
+	Platforms int
+	// Neighbors is K, the number of ring neighbors each client calls
+	// (capped at N-1).
+	Neighbors int
+	// Rounds is the number of call rounds per client; each round issues
+	// one blocking call per neighbor.
+	Rounds int
+	// Gap is the base think time between rounds (each client adds a
+	// deterministic per-client skew so request arrivals never collide).
+	Gap logical.Duration
+	// WorkBase/WorkSpread model the server's execution time: base plus a
+	// payload-hash-dependent spread, so timing is data-dependent but
+	// identical in both execution modes.
+	WorkBase   logical.Duration
+	WorkSpread logical.Duration
+	// NoiseEvents/NoiseInterval drive the per-platform local load
+	// generator (loopback datagrams on the platform's own host).
+	NoiseEvents   int
+	NoiseInterval logical.Duration
+	// LinkLatency is the fixed platform-to-platform latency. It must be
+	// RNG-free (fixed): its minimum is the federation lookahead.
+	LinkLatency logical.Duration
+	// SwitchDelay is the store-and-forward delay added to inter-platform
+	// packets.
+	SwitchDelay logical.Duration
+}
+
+// DefaultMeshConfig returns the E10 scenario for n platforms.
+func DefaultMeshConfig(n int) MeshConfig {
+	k := 3
+	if k > n-1 {
+		k = n - 1
+	}
+	return MeshConfig{
+		Platforms:     n,
+		Neighbors:     k,
+		Rounds:        20,
+		Gap:           800 * logical.Microsecond,
+		WorkBase:      20 * logical.Microsecond,
+		WorkSpread:    120 * logical.Microsecond,
+		NoiseEvents:   400,
+		NoiseInterval: 50 * logical.Microsecond,
+		LinkLatency:   350 * logical.Microsecond,
+		SwitchDelay:   20 * logical.Microsecond,
+	}
+}
+
+func (c *MeshConfig) normalize() error {
+	if c.Platforms < 2 {
+		return fmt.Errorf("exp: mesh needs at least 2 platforms")
+	}
+	if c.Neighbors < 1 {
+		c.Neighbors = 1
+	}
+	if c.Neighbors > c.Platforms-1 {
+		c.Neighbors = c.Platforms - 1
+	}
+	if c.LinkLatency <= 0 {
+		return fmt.Errorf("exp: mesh needs positive link latency (it is the federation lookahead)")
+	}
+	return nil
+}
+
+// MeshPlatformRow is the per-platform slice of the E10 report.
+type MeshPlatformRow struct {
+	Calls     int
+	Served    int
+	RespHash  uint64
+	LatSumNs  int64
+	LatMaxNs  int64
+	NoiseHash uint64
+}
+
+// LatMeanNs returns the integer mean round-trip latency (exact — no
+// floating point, so reports are byte-stable).
+func (r *MeshPlatformRow) LatMeanNs() int64 {
+	if r.Calls == 0 {
+		return 0
+	}
+	return r.LatSumNs / int64(r.Calls)
+}
+
+// MeshResult is the outcome of one E10 run.
+type MeshResult struct {
+	Seed       uint64
+	Config     MeshConfig
+	Partitions int
+	Rows       []MeshPlatformRow
+
+	// Mode-dependent diagnostics (NOT part of the canonical report):
+	// coordination rounds are zero on a single kernel, and delivered
+	// counts include SD multicast whose fan-out is per-partition.
+	CoordRounds uint64
+	EventsFired uint64
+	Delivered   uint64
+	Dropped     uint64
+}
+
+// Report renders the canonical, mode-independent report: two runs are
+// behaviourally identical iff their Reports are byte-identical. It
+// deliberately excludes partition count and transport-internal counters.
+func (r *MeshResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E10 mesh seed=%d platforms=%d neighbors=%d rounds=%d\n",
+		r.Seed, r.Config.Platforms, r.Config.Neighbors, r.Config.Rounds)
+	totalCalls, totalServed := 0, 0
+	for i, row := range r.Rows {
+		fmt.Fprintf(&b, "plat%02d calls=%d served=%d resp=%016x latMeanNs=%d latMaxNs=%d noise=%016x\n",
+			i, row.Calls, row.Served, row.RespHash, row.LatMeanNs(), row.LatMaxNs, row.NoiseHash)
+		totalCalls += row.Calls
+		totalServed += row.Served
+	}
+	fmt.Fprintf(&b, "total calls=%d served=%d\n", totalCalls, totalServed)
+	return b.String()
+}
+
+// Table renders the per-platform breakdown for the experiment report.
+func (r *MeshResult) Table() *metrics.Table {
+	t := metrics.NewTable("platform", "calls", "served", "lat mean", "lat max", "resp hash")
+	for i, row := range r.Rows {
+		t.Row(i, row.Calls, row.Served,
+			logical.Duration(row.LatMeanNs()).String(),
+			logical.Duration(row.LatMaxNs).String(),
+			fmt.Sprintf("%016x", row.RespHash))
+	}
+	return t
+}
+
+// meshSubstrate abstracts over the two execution modes: one kernel with
+// one Network, or a Federation with a partitioned Cluster.
+type meshSubstrate struct {
+	fed     *des.Federation
+	cluster *simnet.Cluster
+	single  *des.Kernel
+	net     *simnet.Network
+	hosts   []*simnet.Host
+}
+
+func newMeshSubstrate(seed uint64, cfg MeshConfig, partitions int) (*meshSubstrate, error) {
+	netCfg := simnet.Config{
+		DefaultLatency: simnet.FixedLatency(cfg.LinkLatency),
+		SwitchDelay:    cfg.SwitchDelay,
+	}
+	s := &meshSubstrate{}
+	if partitions <= 1 {
+		s.single = des.NewKernel(seed)
+		s.net = simnet.NewNetwork(s.single, netCfg)
+		for i := 0; i < cfg.Platforms; i++ {
+			s.hosts = append(s.hosts, s.net.AddHost(meshHostName(i), nil))
+		}
+		return s, nil
+	}
+	if partitions > cfg.Platforms {
+		partitions = cfg.Platforms
+	}
+	s.fed = des.NewFederation(seed, partitions)
+	cluster, err := simnet.NewCluster(s.fed, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cluster
+	for i := 0; i < cfg.Platforms; i++ {
+		s.hosts = append(s.hosts, cluster.AddHost(i%partitions, meshHostName(i), nil))
+	}
+	return s, nil
+}
+
+func meshHostName(i int) string { return fmt.Sprintf("plat%02d", i) }
+
+func (s *meshSubstrate) run() {
+	if s.fed != nil {
+		s.fed.RunAll()
+		s.fed.Shutdown()
+		return
+	}
+	s.single.RunAll()
+	s.single.Shutdown()
+}
+
+func (s *meshSubstrate) stats(r *MeshResult) {
+	if s.fed != nil {
+		r.Partitions = s.fed.Partitions()
+		r.CoordRounds = s.fed.Rounds()
+		r.EventsFired = s.fed.EventsFired()
+		r.Delivered = s.cluster.Delivered()
+		r.Dropped = s.cluster.Dropped()
+		return
+	}
+	r.Partitions = 1
+	r.EventsFired = s.single.EventsFired()
+	r.Delivered = s.net.Delivered()
+	r.Dropped = s.net.Dropped()
+}
+
+const (
+	meshServiceBase = someip.ServiceID(0x2100)
+	meshPort        = 40000
+	meshNoisePort   = 41000
+)
+
+func meshIface(i int) *ara.ServiceInterface {
+	return &ara.ServiceInterface{
+		Name:  fmt.Sprintf("Mesh%02d", i),
+		ID:    meshServiceBase + someip.ServiceID(i),
+		Major: 1,
+		Methods: []ara.MethodSpec{
+			{ID: 1, Name: "compute"},
+		},
+	}
+}
+
+// RunMesh executes E10 once. partitions <= 1 selects the classic
+// single-kernel substrate; larger values shard the platforms round-robin
+// over that many federated kernels. For a fixed (seed, cfg) the Report
+// is identical for every partition count.
+func RunMesh(seed uint64, cfg MeshConfig, partitions int) (*MeshResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sub, err := newMeshSubstrate(seed, cfg, partitions)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Platforms
+	res := &MeshResult{Seed: seed, Config: cfg, Rows: make([]MeshPlatformRow, n)}
+	rows := res.Rows
+
+	zeroJitter := func(*des.Rand) logical.Duration { return 0 }
+	runtimes := make([]*ara.Runtime, n)
+
+	// Pass 1: servers. Every platform offers its compute service and
+	// binds the local-noise sink. Scheduling order within each kernel is
+	// part of the determinism contract, so construction order is fixed:
+	// all servers before all clients.
+	for i := 0; i < n; i++ {
+		i := i
+		host := sub.hosts[i]
+		rt, err := ara.NewRuntime(host, ara.Config{
+			Name: fmt.Sprintf("mesh%02d", i),
+			Port: meshPort,
+			Exec: ara.ExecConfig{Workers: 2, Serialized: true, DispatchJitter: zeroJitter},
+		})
+		if err != nil {
+			return nil, err
+		}
+		runtimes[i] = rt
+		sk, err := rt.NewSkeleton(meshIface(i), 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := sk.Handle("compute", func(c *ara.Ctx, args []byte) ([]byte, error) {
+			rows[i].Served++
+			h := fnvOffset
+			for _, by := range args {
+				h = fnvMix(h, uint64(by))
+			}
+			h = fnvMix(h, uint64(i))
+			h = fnvMix(h, uint64(rows[i].Served))
+			if cfg.WorkSpread > 0 {
+				c.Exec(cfg.WorkBase + logical.Duration(h%uint64(cfg.WorkSpread)))
+			} else if cfg.WorkBase > 0 {
+				c.Exec(cfg.WorkBase)
+			}
+			var out [8]byte
+			binary.BigEndian.PutUint64(out[:], h)
+			return out[:], nil
+		}); err != nil {
+			return nil, err
+		}
+		k := rt.Kernel()
+		k.At(0, func() { sk.Offer() })
+
+		// Local noise sink: dense intra-platform load, hashed into the
+		// report so both modes must schedule it identically.
+		sink := host.MustBind(meshNoisePort)
+		rows[i].NoiseHash = fnvOffset
+		sink.OnReceive(func(dg simnet.Datagram) {
+			h := rows[i].NoiseHash
+			h = fnvMix(h, uint64(dg.SentAt))
+			h = fnvMix(h, uint64(k.Now()))
+			h = fnvMix(h, uint64(binary.BigEndian.Uint32(dg.Payload)))
+			rows[i].NoiseHash = h
+		})
+	}
+
+	// Pass 2: clients and noise generators.
+	for i := 0; i < n; i++ {
+		i := i
+		rt := runtimes[i]
+		host := sub.hosts[i]
+
+		// Static peer configuration (the federation has no cross-partition
+		// service discovery, mirroring the UDP deployment path).
+		proxies := make([]*ara.Proxy, 0, cfg.Neighbors)
+		targets := make([]int, 0, cfg.Neighbors)
+		for d := 1; d <= cfg.Neighbors; d++ {
+			j := (i + d) % n
+			proxies = append(proxies, rt.StaticProxy(meshIface(j), 1,
+				simnet.Addr{Host: sub.hosts[j].ID(), Port: meshPort}))
+			targets = append(targets, j)
+		}
+
+		// Deterministic per-client skew keeps request arrivals at any
+		// server from colliding at identical timestamps, where single- and
+		// multi-kernel tie-breaking could legitimately differ.
+		phase := logical.Duration(i)*977*logical.Microsecond + logical.Duration(i)*13
+		gap := cfg.Gap + logical.Duration(i)*1013
+
+		rows[i].RespHash = fnvOffset
+		rt.Spawn("client", func(c *ara.Ctx) {
+			c.Exec(phase)
+			var req [12]byte
+			for round := 0; round < cfg.Rounds; round++ {
+				for t, px := range proxies {
+					binary.BigEndian.PutUint16(req[0:], uint16(i))
+					binary.BigEndian.PutUint16(req[2:], uint16(targets[t]))
+					binary.BigEndian.PutUint32(req[4:], uint32(round))
+					binary.BigEndian.PutUint32(req[8:], uint32(t))
+					t0 := c.Now()
+					resp, err := px.Call("compute", req[:]).Get(c.Process())
+					if err != nil {
+						// Observable, never silent: fold the failure into
+						// the report.
+						rows[i].RespHash = fnvMix(rows[i].RespHash, 0xdead)
+						continue
+					}
+					rtt := int64(c.Now() - t0)
+					rows[i].Calls++
+					h := rows[i].RespHash
+					h = fnvMix(h, uint64(targets[t]))
+					h = fnvMix(h, binary.BigEndian.Uint64(resp))
+					h = fnvMix(h, uint64(rtt))
+					rows[i].RespHash = h
+					rows[i].LatSumNs += rtt
+					if rtt > rows[i].LatMaxNs {
+						rows[i].LatMaxNs = rtt
+					}
+				}
+				c.Exec(gap)
+			}
+		})
+
+		// Local load generator: loopback datagrams on this platform only,
+		// so its cost parallelizes across partitions without changing any
+		// cross-platform interaction.
+		if cfg.NoiseEvents > 0 {
+			src := host.MustBind(meshNoisePort + 1)
+			sinkAddr := simnet.Addr{Host: host.ID(), Port: meshNoisePort}
+			k := rt.Kernel()
+			k.Spawn(fmt.Sprintf("noise%02d", i), func(p *des.Process) {
+				var buf [4]byte
+				for m := 0; m < cfg.NoiseEvents; m++ {
+					binary.BigEndian.PutUint32(buf[:], uint32(m))
+					src.Send(sinkAddr, buf[:])
+					p.Sleep(cfg.NoiseInterval)
+				}
+			})
+		}
+	}
+
+	sub.run()
+	sub.stats(res)
+	return res, nil
+}
+
+// RunMeshDeterminismCheck applies E4's determinism-check methodology to
+// the sharded substrate: for each of `seeds` seeds it runs the scenario
+// on a single kernel and federated at every requested partition count,
+// and verifies that all reports are byte-identical per seed (and that
+// different seeds do produce different reports — the gate is not
+// vacuous). It returns the per-seed reference reports.
+func RunMeshDeterminismCheck(seedBase uint64, seeds int, cfg MeshConfig, partitionCounts []int) ([]string, error) {
+	var reports []string
+	for s := 0; s < seeds; s++ {
+		seed := seedBase + uint64(s)
+		ref, err := RunMesh(seed, cfg, 1)
+		if err != nil {
+			return nil, err
+		}
+		refReport := ref.Report()
+		for _, p := range partitionCounts {
+			got, err := RunMesh(seed, cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			if r := got.Report(); r != refReport {
+				return nil, fmt.Errorf(
+					"exp: mesh diverged at seed %d, %d partitions:\n--- single kernel ---\n%s--- federated ---\n%s",
+					seed, p, refReport, r)
+			}
+		}
+		reports = append(reports, refReport)
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] == reports[0] {
+			return reports, fmt.Errorf("exp: mesh reports identical across different seeds — gate is vacuous")
+		}
+	}
+	return reports, nil
+}

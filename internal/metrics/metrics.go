@@ -20,6 +20,11 @@ type Stream struct {
 	max     float64
 	samples []float64
 	keep    bool
+	// sorted caches the sorted samples for Quantile; it is invalidated by
+	// Add. Experiment reports query several quantiles per stream, and
+	// re-sorting the full sample slice per call dominated report time.
+	sorted []float64
+	dirty  bool
 }
 
 // NewStream returns a stream that keeps raw samples (exact quantiles).
@@ -46,6 +51,7 @@ func (s *Stream) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 	if s.keep {
 		s.samples = append(s.samples, x)
+		s.dirty = true
 	}
 }
 
@@ -73,13 +79,18 @@ func (s *Stream) Min() float64 { return s.min }
 func (s *Stream) Max() float64 { return s.max }
 
 // Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
-// Requires sample retention.
+// Requires sample retention. The sorted order is computed once and cached
+// until the next Add, so querying several quantiles costs one sort.
 func (s *Stream) Quantile(q float64) float64 {
 	if !s.keep || s.n == 0 {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), s.samples...)
-	sort.Float64s(sorted)
+	if s.dirty || s.sorted == nil {
+		s.sorted = append(s.sorted[:0], s.samples...)
+		sort.Float64s(s.sorted)
+		s.dirty = false
+	}
+	sorted := s.sorted
 	if q <= 0 {
 		return sorted[0]
 	}

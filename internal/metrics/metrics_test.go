@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -128,6 +129,77 @@ func TestQuantileMatchesSorted(t *testing.T) {
 	if s.Quantile(0.5) != data[len(data)/2] {
 		t.Errorf("median = %v", s.Quantile(0.5))
 	}
+}
+
+// The sorted cache must be invalidated by Add: interleaving Add and
+// Quantile has to give the same answers as a fresh stream at every step.
+func TestQuantileCacheInvalidation(t *testing.T) {
+	s := NewStream()
+	var data []float64
+	for i := 0; i < 200; i++ {
+		// Deterministic, unordered inputs.
+		x := float64((i*7919)%457) - 100
+		s.Add(x)
+		data = append(data, x)
+		if i%3 != 0 {
+			continue
+		}
+		fresh := NewStream()
+		for _, v := range data {
+			fresh.Add(v)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if got, want := s.Quantile(q), fresh.Quantile(q); got != want {
+				t.Fatalf("after %d adds: Quantile(%v) = %v, fresh = %v", i+1, q, got, want)
+			}
+		}
+		// Querying again without Add must hit the cache and agree.
+		if s.Quantile(0.5) != fresh.Quantile(0.5) {
+			t.Fatalf("cached re-query diverged after %d adds", i+1)
+		}
+	}
+}
+
+// BenchmarkStreamQuantile measures the per-quantile cost on a stream that
+// is no longer growing — the report-generation pattern (E8/E10 query
+// several quantiles per stream, per report). With the sorted cache this
+// is O(1) amortized instead of a full copy+sort per call.
+func BenchmarkStreamQuantile(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(benchSize(n), func(b *testing.B) {
+			s := NewStream()
+			for i := 0; i < n; i++ {
+				s.Add(float64((i * 2654435761) % 1000003))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Quantile(float64(i%100) / 100)
+			}
+		})
+	}
+}
+
+// BenchmarkStreamQuantileResort is the worst case: every query follows an
+// Add, so the cache never helps and each call pays the sort.
+func BenchmarkStreamQuantileResort(b *testing.B) {
+	s := NewStream()
+	for i := 0; i < 1000; i++ {
+		s.Add(float64((i * 2654435761) % 1000003))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 997))
+		s.Quantile(0.99)
+	}
+}
+
+func benchSize(n int) string {
+	if n >= 1000 {
+		return fmt.Sprintf("n%dk", n/1000)
+	}
+	return fmt.Sprintf("n%d", n)
 }
 
 func TestHistogram(t *testing.T) {

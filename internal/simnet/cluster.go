@@ -1,0 +1,203 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+)
+
+// Cluster partitions a simulated network across the kernels of a
+// des.Federation: each partition owns a Network on its own kernel, hosts
+// are pinned to partitions, intra-partition traffic schedules locally
+// exactly as on a plain Network, and inter-partition traffic crosses
+// timestamped federation channels whose lookahead is the minimum latency
+// of the corresponding link model.
+//
+// Determinism contract (what makes a federated run byte-identical to a
+// single-kernel run of the same topology and seed):
+//
+//   - Cross-partition latency models must be RNG-free (they must
+//     implement MinLatencyModel, and their draws must not consume shared
+//     random streams — FixedLatency is the canonical choice). A shared
+//     jitter stream would be consumed in global event order on one kernel
+//     but in per-partition order on a federation.
+//   - DropRate must be zero: packet drops consume the per-network drop
+//     stream in delivery order, which differs across partitionings.
+//   - Multicast groups are per-partition: a group member receives
+//     cross-partition traffic only if the sender's partition also has the
+//     group (service discovery therefore spans one partition; federated
+//     scenarios use static peer configuration, ara.Runtime.StaticProxy).
+type Cluster struct {
+	fed         *des.Federation
+	parts       []*Network
+	owner       map[uint16]int // host id -> partition
+	chans       [][]*des.Channel
+	model       MinLatencyModel
+	links       map[[2]uint16]MinLatencyModel
+	switchDelay logical.Duration
+	nextID      uint16
+}
+
+// NewCluster creates a partitioned network over the federation. The
+// configuration applies uniformly: every partition's Network uses it for
+// intra-partition traffic, and cross-partition links use the same default
+// latency model and switch delay, so a host pair observes identical
+// timing whether or not it is co-partitioned. DefaultLatency must
+// implement MinLatencyModel and have a positive minimum (plus switch
+// delay); DropRate must be zero.
+func NewCluster(fed *des.Federation, cfg Config) (*Cluster, error) {
+	if cfg.DropRate != 0 {
+		return nil, fmt.Errorf("simnet: cluster requires DropRate 0 (drops would desynchronize partition RNG streams)")
+	}
+	model := cfg.DefaultLatency
+	if model == nil {
+		model = FixedLatency(50 * logical.Microsecond)
+		cfg.DefaultLatency = model
+	}
+	mm, ok := model.(MinLatencyModel)
+	if !ok {
+		return nil, fmt.Errorf("simnet: cluster default latency model %T does not implement MinLatencyModel", model)
+	}
+	if err := crossPartitionSafe(mm); err != nil {
+		return nil, err
+	}
+	lookahead := mm.MinLatency() + cfg.SwitchDelay
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("simnet: cluster needs positive cross-partition lookahead (min latency + switch delay)")
+	}
+	p := fed.Partitions()
+	c := &Cluster{
+		fed:         fed,
+		parts:       make([]*Network, p),
+		owner:       map[uint16]int{},
+		chans:       make([][]*des.Channel, p),
+		model:       mm,
+		links:       map[[2]uint16]MinLatencyModel{},
+		switchDelay: cfg.SwitchDelay,
+	}
+	for i := 0; i < p; i++ {
+		c.parts[i] = NewNetwork(fed.Kernel(i), cfg)
+		c.chans[i] = make([]*des.Channel, p)
+	}
+	for from := 0; from < p; from++ {
+		from := from
+		for to := 0; to < p; to++ {
+			if from == to {
+				continue
+			}
+			c.chans[from][to] = fed.Channel(from, to, lookahead)
+		}
+		c.parts[from].router = func(src *Endpoint, dg Datagram) bool {
+			return c.route(from, src, dg)
+		}
+	}
+	return c, nil
+}
+
+// Federation returns the underlying federation.
+func (c *Cluster) Federation() *des.Federation { return c.fed }
+
+// Partition returns partition i's Network (for latency overrides,
+// multicast groups, or direct kernel access).
+func (c *Cluster) Partition(i int) *Network { return c.parts[i] }
+
+// AddHost attaches a platform to the given partition. Host IDs are
+// allocated by the cluster so that addresses are unique network-wide.
+// The clock (may be nil) must belong to the partition's kernel.
+func (c *Cluster) AddHost(part int, name string, clock *des.LocalClock) *Host {
+	c.nextID++
+	c.owner[c.nextID] = part
+	return c.parts[part].addHostID(c.nextID, name, clock)
+}
+
+// PartitionOf returns the partition owning the host ID.
+func (c *Cluster) PartitionOf(host uint16) (int, bool) {
+	p, ok := c.owner[host]
+	return p, ok
+}
+
+// SetLink installs a latency model for traffic between hosts a and b
+// (both directions), co-partitioned or not. The model must implement
+// MinLatencyModel; if the pair crosses partitions, the connecting
+// channels' lookahead is lowered to the model's minimum when necessary.
+// Must be called before the federation runs.
+func (c *Cluster) SetLink(a, b uint16, m MinLatencyModel) {
+	pa, oka := c.owner[a]
+	pb, okb := c.owner[b]
+	if !oka || !okb {
+		panic(fmt.Sprintf("simnet: SetLink on unknown hosts %d,%d", a, b))
+	}
+	if pa == pb {
+		c.parts[pa].SetLink(a, b, m)
+		return
+	}
+	if err := crossPartitionSafe(m); err != nil {
+		panic(err)
+	}
+	c.links[linkKey(a, b)] = m
+	la := m.MinLatency() + c.switchDelay
+	if la <= 0 {
+		panic("simnet: cluster link needs positive lookahead (min latency + switch delay)")
+	}
+	for _, ch := range []*des.Channel{c.chans[pa][pb], c.chans[pb][pa]} {
+		if la < ch.Lookahead() {
+			ch.SetLookahead(la)
+		}
+	}
+}
+
+// Delivered sums delivered datagrams across all partitions. Each
+// datagram is counted exactly once, by the partition that owns its
+// destination host.
+func (c *Cluster) Delivered() uint64 {
+	var n uint64
+	for _, p := range c.parts {
+		n += p.Delivered()
+	}
+	return n
+}
+
+// Dropped sums dropped datagrams across all partitions.
+func (c *Cluster) Dropped() uint64 {
+	var n uint64
+	for _, p := range c.parts {
+		n += p.Dropped()
+	}
+	return n
+}
+
+// crossPartitionSafe rejects latency models whose Latency draws
+// randomness: the model instance is shared by every partition and
+// consulted from parallel kernel goroutines, so a stateful model is both
+// a data race and a determinism leak (draw order would depend on the
+// partitioning). Only JitterLatency carries an RNG today; custom models
+// must be stateless by the same contract.
+func crossPartitionSafe(m MinLatencyModel) error {
+	if j, ok := m.(*JitterLatency); ok && j.Rng != nil {
+		return fmt.Errorf("simnet: cluster links must use RNG-free latency models (JitterLatency with Rng draws in partition-dependent order)")
+	}
+	return nil
+}
+
+// route forwards a cross-partition datagram through the federation
+// channel. Runs on the sending partition's kernel goroutine. Returns
+// false when the destination host is unknown cluster-wide, in which case
+// the sending Network applies its usual unknown-host policy (the packet
+// is scheduled locally and dropped at delivery time, mirroring the
+// single-kernel count).
+func (c *Cluster) route(from int, src *Endpoint, dg Datagram) bool {
+	to, ok := c.owner[dg.Dst.Host]
+	if !ok {
+		return false
+	}
+	model := MinLatencyModel(c.model)
+	if m, ok := c.links[linkKey(dg.Src.Host, dg.Dst.Host)]; ok {
+		model = m
+	}
+	lat := model.Latency(len(dg.Payload)) + c.switchDelay
+	target := c.parts[to]
+	at := c.parts[from].k.Now().Add(lat)
+	c.chans[from][to].Send(at, func() { target.deliver(dg) })
+	return true
+}

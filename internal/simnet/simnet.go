@@ -51,11 +51,24 @@ type LatencyModel interface {
 	Latency(size int) logical.Duration
 }
 
+// MinLatencyModel is a LatencyModel with a known lower bound. Latency
+// models used on cross-partition links of a federated Cluster must
+// implement it: the bound supplies the conservative lookahead that lets
+// partition kernels advance in parallel.
+type MinLatencyModel interface {
+	LatencyModel
+	// MinLatency returns a lower bound on Latency(size) for every size.
+	MinLatency() logical.Duration
+}
+
 // FixedLatency is a constant-latency model.
 type FixedLatency logical.Duration
 
 // Latency implements LatencyModel.
 func (f FixedLatency) Latency(int) logical.Duration { return logical.Duration(f) }
+
+// MinLatency implements MinLatencyModel.
+func (f FixedLatency) MinLatency() logical.Duration { return logical.Duration(f) }
 
 // JitterLatency models base propagation delay plus per-byte serialization
 // cost plus truncated-Gaussian jitter. This is the model used for the
@@ -96,6 +109,15 @@ func (j *JitterLatency) Latency(size int) logical.Duration {
 	return d
 }
 
+// MinLatency implements MinLatencyModel: jitter and serialization cost are
+// both non-negative, so the base propagation delay is the lower bound.
+func (j *JitterLatency) MinLatency() logical.Duration {
+	if j.Base < 0 {
+		return 0
+	}
+	return j.Base
+}
+
 // Network is a collection of hosts joined by a switch fabric.
 type Network struct {
 	k       *des.Kernel
@@ -112,6 +134,10 @@ type Network struct {
 	delivered   uint64
 	dropped     uint64
 	groups      map[Addr][]*Endpoint
+	// router, when set, takes over datagrams addressed to hosts this
+	// Network does not own. A federated Cluster installs one per partition
+	// to forward cross-partition traffic through timestamped channels.
+	router func(src *Endpoint, dg Datagram) bool
 }
 
 // Config configures a Network.
@@ -207,9 +233,19 @@ type Host struct {
 // never read local time.
 func (n *Network) AddHost(name string, clock *des.LocalClock) *Host {
 	n.nextKey++
+	return n.addHostID(n.nextKey, name, clock)
+}
+
+// addHostID attaches a platform under an externally assigned host ID.
+// A federated Cluster allocates IDs globally so that addresses stay
+// unique across partitions.
+func (n *Network) addHostID(id uint16, name string, clock *des.LocalClock) *Host {
+	if _, dup := n.hosts[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate host id %d (%s)", id, name))
+	}
 	h := &Host{
 		net:      n,
-		id:       n.nextKey,
+		id:       id,
 		name:     name,
 		ports:    map[uint16]*Endpoint{},
 		loopback: FixedLatency(5 * logical.Microsecond),
@@ -356,6 +392,11 @@ func (n *Network) unicast(e *Endpoint, dg Datagram) {
 	if dst.Host == e.addr.Host {
 		lat = e.host.loopback.Latency(len(payload))
 	} else {
+		if _, local := n.hosts[dst.Host]; !local && n.router != nil {
+			if n.router(e, dg) {
+				return
+			}
+		}
 		model := n.defaultModel
 		if m, ok := n.links[linkKey(e.addr.Host, dst.Host)]; ok {
 			model = m
@@ -366,7 +407,7 @@ func (n *Network) unicast(e *Endpoint, dg Datagram) {
 			return
 		}
 	}
-	n.k.After(lat, func() { n.deliver(dg) })
+	n.k.AfterTransient(lat, func() { n.deliver(dg) })
 }
 
 func (n *Network) deliver(dg Datagram) {
