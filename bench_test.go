@@ -322,6 +322,35 @@ func BenchmarkFederationScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkFaults measures E11: the federated mesh under the full fault
+// schedule — counter-based drops, a loss window, a partition window,
+// jitter bursts and a crash/restart — including the per-packet fault
+// verdict on every inter-host unicast. The determinism gate rides
+// along: the faulted federated report must match the single-kernel one.
+func BenchmarkFaults(b *testing.B) {
+	cfg := exp.DefaultFaultMeshConfig(8)
+	ref, err := exp.RunFaultMesh(1, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refReport := ref.Report()
+	var errs int
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFaultMesh(1, cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report() != refReport {
+			b.Fatal("E11 determinism gate failed: faulted federated report diverged")
+		}
+		errs = 0
+		for _, row := range res.Rows {
+			errs += row.Errors
+		}
+	}
+	b.ReportMetric(float64(errs), "observable-errors/op")
+}
+
 // BenchmarkDESKernel measures raw simulation-kernel event throughput.
 func BenchmarkDESKernel(b *testing.B) {
 	k := des.NewKernel(1)

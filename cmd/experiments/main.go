@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only figure1|figure5|deterministic|tradeoff|split|latency|overhead|loopback|mesh]
+//	experiments [-quick] [-only figure1|figure5|deterministic|tradeoff|split|latency|overhead|loopback|mesh|faults]
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
 // shrinks workloads ~20×. All experiments except loopback are
@@ -37,9 +37,11 @@ func main() {
 
 	f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames := 20000, 20, 100000, 20000, 3, 5000
 	meshN, meshRounds, meshNoise := 16, 40, 2000
+	faultFrames := 2000
 	if *quick {
 		f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames = 2000, 10, 5000, 2000, 2, 1000
 		meshN, meshRounds, meshNoise = 8, 10, 200
+		faultFrames = 400
 	}
 
 	experiments := []experiment{
@@ -180,6 +182,27 @@ func main() {
 				log.Fatal("E10 determinism gate FAILED")
 			}
 			fmt.Println("conservative synchronization shards the simulation without changing a single byte (E10)")
+		}},
+
+		{"faults", func() {
+			meshCfg := exp.DefaultFaultMeshConfig(meshN)
+			res, err := exp.RunFaults(1, faultFrames, meshCfg, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("brake assistant under a seeded fault schedule (loss, partition, jitter bursts), %d frames:\n", faultFrames)
+			fmt.Print(res.Pipeline.Table())
+			fmt.Println("baseline computes on corrupt inputs (silent); every DEAR failure is a counted, observable error")
+			errsTotal := 0
+			for _, row := range res.Mesh.Rows {
+				errsTotal += row.Errors
+			}
+			fmt.Printf("\nfaulted federated mesh (%d platforms, drop rate %.0f%%, partition window, crash+restart of platform %d): %d observable call failures\n",
+				meshN, 100*meshCfg.Faults.DropRate, meshCfg.Crash.Platform, errsTotal)
+			if _, err := exp.RunFaultsDeterminismCheck(1, 3, meshCfg, []int{2, 3, 4}); err != nil {
+				log.Fatalf("E11 determinism gate FAILED: %v", err)
+			}
+			fmt.Println("E11 determinism gate: byte-identical reports across 3 seeds × {1,2,3,4} partitions under the full fault schedule")
 		}},
 	}
 

@@ -324,6 +324,25 @@ type FixedLatency = simnet.FixedLatency
 // JitterLatency models base + per-byte + truncated-Gaussian latency.
 type JitterLatency = simnet.JitterLatency
 
+// FaultPlan is a seeded, deterministic fault schedule: background loss,
+// per-link loss windows, network partitions and jitter bursts, all
+// drawn from counter-based per-link streams so packet fates are
+// independent of execution interleaving (and therefore identical on a
+// single kernel and on a federated Cluster — drops included).
+type FaultPlan = simnet.FaultPlan
+
+// LossWindow elevates loss probability on selected links for a window
+// of simulated time.
+type LossWindow = simnet.LossWindow
+
+// PartitionWindow blacks out all traffic between two host groups for a
+// window of simulated time.
+type PartitionWindow = simnet.PartitionWindow
+
+// JitterBurst adds bounded extra one-way delay on selected links for a
+// window of simulated time (reordering traffic without losing it).
+type JitterBurst = simnet.JitterBurst
+
 // NewKernel creates a simulation kernel seeded with seed.
 func NewKernel(seed uint64) *Kernel { return des.NewKernel(seed) }
 

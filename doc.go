@@ -84,4 +84,29 @@
 // GOMAXPROCS value (experiment E10 gates this). Cross-partition links
 // must use RNG-free latency models (see simnet.Cluster for the full
 // determinism contract).
+//
+// # Fault injection and recovery
+//
+// A FaultPlan turns the benign simulated network hostile — seeded
+// background loss, per-link loss windows, network partitions and
+// jitter bursts — without costing determinism: every packet fate is a
+// counter-based pure function of (seed, directed link, packet index),
+// so the same packet meets the same fate under any partitioning and
+// any GOMAXPROCS (experiment E11 gates this, drops and all, on a
+// federated Cluster):
+//
+//	net := dear.NewNetwork(k, dear.NetworkConfig{
+//	    DropRate: 0.01,
+//	    Faults: &dear.FaultPlan{
+//	        Partitions: []dear.PartitionWindow{{From: t0, To: t1}},
+//	    },
+//	})
+//
+// Hosts crash and restart: Host.Crash silences a platform (endpoints
+// close, in-flight packets drop, no SD stop-offer is sent), remote
+// agents observe the loss through SD TTL expiry, and Host.Restart
+// rebuilds the stack whose skeletons re-offer through SD so consumers
+// re-bind. Runtime.WatchService is the client-side counterpart: a
+// persistent up/down watcher that hands out a fresh proxy on every
+// (re)discovery.
 package dear

@@ -29,6 +29,18 @@ type BaselineConfig struct {
 	DriftSigmaPPB float64
 	// SettleTime before the camera starts (service discovery warm-up).
 	SettleTime logical.Duration
+	// Faults installs a deterministic fault schedule on the network
+	// (experiment E11); nil leaves the network fault-free, preserving the
+	// Figure 5 goldens byte-for-byte.
+	Faults *simnet.FaultPlan
+	// SplitPlatforms deploys Computer Vision and EBA on a third platform
+	// (mirroring DeterministicConfig.SplitPlatforms), so the Pre→CV event
+	// notifications cross the switched network — and any installed fault
+	// plan. This is the deployment under which the stock design's silent
+	// corruption becomes network-induced: independently dropped or
+	// reordered frame/lane notifications desynchronize CV's one-slot
+	// input buffers, and CV computes on the mismatched pair anyway.
+	SplitPlatforms bool
 }
 
 // DefaultBaselineConfig mirrors the APD deployment: 50ms period and
@@ -105,6 +117,7 @@ func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
 			Rng:     k.Rand("apd.net"),
 		},
 		SwitchDelay: 20 * logical.Microsecond,
+		Faults:      cfg.Faults,
 	})
 	p1 := n.AddHost("platform1", k.NewLocalClock(des.ClockConfig{DriftPPB: drift1}, nil))
 	p2 := n.AddHost("platform2", k.NewLocalClock(des.ClockConfig{DriftPPB: drift2}, nil))
@@ -121,6 +134,16 @@ func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
 		return logical.Duration(instRand.Range(0, int64(cfg.Period)-1))
 	}
 	phasePre, phaseCV, phaseEBA := phase(), phase(), phase()
+
+	// The optional third platform hosts CV and EBA. Its drift is drawn
+	// only when splitting, after the phase draws, so the stock two-
+	// platform instances — and with them the Figure 5 goldens — consume
+	// exactly the same random stream as before this option existed.
+	p3 := p2
+	if cfg.SplitPlatforms {
+		drift3 := int64(instRand.Norm(0, cfg.DriftSigmaPPB))
+		p3 = n.AddHost("platform3", k.NewLocalClock(des.ClockConfig{DriftPPB: drift3}, nil))
+	}
 
 	// --- Video Adapter (platform 2): receives raw camera frames and
 	// publishes them as AP events. Sporadic, no periodic callback.
@@ -183,7 +206,7 @@ func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
 	})
 
 	// --- Computer Vision (platform 2): two one-slot inputs.
-	cvRT, err := ara.NewRuntime(p2, ara.Config{Name: "computer-vision"})
+	cvRT, err := ara.NewRuntime(p3, ara.Config{Name: "computer-vision"})
 	if err != nil {
 		return nil, err
 	}
@@ -225,6 +248,11 @@ func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
 		b.Counters.DroppedCV += cvTracker.observe(frame.Seq)
 		if frame.Seq != lane.Seq {
 			b.Counters.MismatchCV++
+			// Stock behaviour: nothing stops the pipeline — vehicle
+			// detection runs on the mismatched pair and EBA later decides
+			// on the corrupt result. This is the silent-corruption path
+			// the DEAR variant structurally refuses.
+			b.Counters.CorruptProcessed++
 		}
 		c.Exec(gaussExec(cvRand, cfg.CVExecMean, cfg.ExecSigma))
 		vehicles := DetectVehicles(frame, lane)
@@ -234,7 +262,7 @@ func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
 	})
 
 	// --- EBA (platform 2).
-	ebaRT, err := ara.NewRuntime(p2, ara.Config{Name: "eba"})
+	ebaRT, err := ara.NewRuntime(p3, ara.Config{Name: "eba"})
 	if err != nil {
 		return nil, err
 	}

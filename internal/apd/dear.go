@@ -51,6 +51,12 @@ type DeterministicConfig struct {
 	DriftPPB int64
 	// SyncBound is the per-platform synchronization bound when splitting.
 	SyncBound logical.Duration
+
+	// Faults installs a deterministic fault schedule on the network
+	// (experiment E11); nil leaves the network fault-free, preserving the
+	// E4 goldens byte-for-byte. Combine with SplitPlatforms to put faults
+	// on the inter-SWC path (platform 2 ↔ platform 3).
+	Faults *simnet.FaultPlan
 }
 
 // DefaultDeterministicConfig mirrors the paper's deployment numbers.
@@ -116,6 +122,7 @@ func NewDeterministic(seed uint64, cfg DeterministicConfig) (*Deterministic, err
 			Rng:     k.Rand("apd.net"),
 		},
 		SwitchDelay: 20 * logical.Microsecond,
+		Faults:      cfg.Faults,
 	})
 	p1 := n.AddHost("platform1", k.NewLocalClock(des.ClockConfig{}, nil))
 	var p2, p3 *simnet.Host

@@ -29,6 +29,16 @@ type ErrorCounters struct {
 	// SafeToProcessViolations counts violated latency/clock bounds
 	// (deterministic implementation only).
 	SafeToProcessViolations uint64
+
+	// CorruptProcessed counts activations that computed on known-corrupt
+	// inputs anyway — the stock pipeline's CV detects a sequence mismatch,
+	// counts it, and still runs vehicle detection on the mismatched pair.
+	// The DEAR pipeline refuses such activations, so this counter is
+	// structurally zero there: every DEAR error is observable, never a
+	// silently corrupted output (the contrast experiment E11 pins down).
+	// It is a view on MismatchCV (same activations, different handling),
+	// not an additional error class, so TotalErrors excludes it.
+	CorruptProcessed uint64
 }
 
 // TotalErrors sums all error classes.

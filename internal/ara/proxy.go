@@ -33,6 +33,24 @@ func (rt *Runtime) FindService(si *ServiceInterface, instance someip.InstanceID,
 	})
 }
 
+// WatchService maintains availability callbacks for a service instance
+// across loss and re-discovery: up runs (as a kernel event) with a
+// freshly bound proxy on every offer that establishes or changes the
+// remote endpoint — including after the provider crashes, restarts and
+// re-offers — and down (may be nil) runs when the cached offer expires
+// (TTL) or is withdrawn. This is the fault-tolerant counterpart of
+// FindService: callers replace their proxy in up instead of holding one
+// forever. Panics on runtimes without an SD agent (UDP runtimes).
+func (rt *Runtime) WatchService(si *ServiceInterface, instance someip.InstanceID, up func(*Proxy), down func()) {
+	if rt.sd == nil {
+		panic("ara: runtime " + rt.name + " has no service discovery; use StaticProxy")
+	}
+	key := someip.ServiceKey{Service: si.ID, Instance: instance}
+	rt.sd.Monitor(key, func(svc someip.RemoteService) {
+		up(&Proxy{rt: rt, iface: si, key: key, remote: svc})
+	}, down)
+}
+
 // StaticProxy returns a proxy bound to a statically configured remote
 // endpoint, bypassing service discovery — the deployment-time static
 // configuration path of real AP stacks, and the only discovery mode on

@@ -1,0 +1,119 @@
+package ara
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/simnet"
+	"repro/internal/someip"
+)
+
+// buildCalcServer creates a runtime offering calcIface on the host with
+// an always-succeeding get_value handler returning v.
+func buildCalcServer(t *testing.T, host *simnet.Host, name string, v uint32) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(host, Config{
+		Name: name,
+		Port: 40000,
+		SD:   sdShortTTL(),
+		Exec: ExecConfig{Workers: 1, Serialized: true, DispatchJitter: func(*des.Rand) logical.Duration { return 0 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := rt.NewSkeleton(calcIface, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Handle("get_value", func(c *Ctx, args []byte) ([]byte, error) {
+		return u32(v), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sk.Offer()
+	return rt
+}
+
+// sdShortTTL configures SD with a short TTL kept alive by cyclic
+// refreshes: a live provider never expires, a crashed (silent) one
+// expires within a second of its last refresh.
+func sdShortTTL() someip.AgentConfig {
+	return someip.AgentConfig{CyclicOfferPeriod: 300 * logical.Millisecond, TTL: logical.Second}
+}
+
+// End-to-end re-bind across a provider crash: the client's WatchService
+// proxy works, goes down on TTL expiry after the silent crash, and a
+// fresh proxy from the restarted provider answers with the new state.
+func TestWatchServiceRebindsAcrossCrashRestart(t *testing.T) {
+	k := des.NewKernel(3)
+	n := simnet.NewNetwork(k, simnet.Config{})
+	h1 := n.AddHost("server", k.NewLocalClock(des.ClockConfig{}, nil))
+	h2 := n.AddHost("client", k.NewLocalClock(des.ClockConfig{}, nil))
+
+	client, err := NewRuntime(h2, Config{Name: "client", SD: sdShortTTL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var px *Proxy
+	downs, ups := 0, 0
+	k.At(0, func() {
+		buildCalcServer(t, h1, "server1", 41)
+		client.WatchService(calcIface, 1,
+			func(p *Proxy) { ups++; px = p },
+			func() { downs++; px = nil })
+	})
+
+	var beforeCrash, duringOutage, afterRestart uint32
+	var outageErr error
+	probe := func(out *uint32) func(c *Ctx) {
+		return func(c *Ctx) {
+			if px == nil {
+				return
+			}
+			r, err := px.Call("get_value", nil).GetTimeout(c.Process(), 500*logical.Millisecond)
+			if err != nil {
+				outageErr = err
+				return
+			}
+			*out = decodeU32(r)
+		}
+	}
+	client.Spawn("probe1", func(c *Ctx) {
+		c.Exec(100 * logical.Millisecond)
+		probe(&beforeCrash)(c)
+	})
+
+	h1.Crash(logical.Time(500 * logical.Millisecond))
+	client.Spawn("probe2", func(c *Ctx) {
+		c.Exec(800 * logical.Millisecond) // inside the outage, before expiry
+		probe(&duringOutage)(c)
+	})
+	h1.Restart(logical.Time(3*logical.Second), func() {
+		buildCalcServer(t, h1, "server2", 42)
+	})
+	client.Spawn("probe3", func(c *Ctx) {
+		c.Exec(4 * logical.Second)
+		probe(&afterRestart)(c)
+	})
+
+	k.Run(logical.Time(6 * logical.Second))
+	k.Shutdown()
+
+	if beforeCrash != 41 {
+		t.Fatalf("pre-crash call = %d, want 41", beforeCrash)
+	}
+	if duringOutage != 0 || outageErr == nil {
+		t.Fatalf("outage call: got %d err %v, want timeout", duringOutage, outageErr)
+	}
+	if downs != 1 {
+		t.Fatalf("downs = %d, want one TTL expiry", downs)
+	}
+	if ups != 2 {
+		t.Fatalf("ups = %d, want initial + post-restart", ups)
+	}
+	if afterRestart != 42 {
+		t.Fatalf("post-restart call = %d, want the restarted provider's 42", afterRestart)
+	}
+}

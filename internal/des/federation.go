@@ -44,6 +44,15 @@ type Federation struct {
 // events at their timestamps; the declared lookahead is the conservative
 // contract: every Send must carry a timestamp at least lookahead beyond
 // the sender's current time.
+//
+// Determinism preconditions: a Channel must only be used from its
+// sending kernel's execution context (events or processes — the queue
+// is deliberately unlocked), timestamps must be computed without
+// consuming random streams shared across partitions, and all channels
+// must be created before the federation runs, in an order that is
+// itself deterministic — the coordinator drains channels in creation
+// order, which fixes cross-partition event sequence numbers and with
+// them same-instant tie-breaking.
 type Channel struct {
 	fed       *Federation
 	from, to  int
@@ -309,6 +318,7 @@ func (f *Federation) Shutdown() {
 	}
 }
 
+// String summarizes the federation state for diagnostics.
 func (f *Federation) String() string {
 	return fmt.Sprintf("federation(partitions=%d channels=%d rounds=%d)",
 		len(f.kernels), len(f.chans), f.rounds)

@@ -313,6 +313,7 @@ func (k *Kernel) QueueLen() int { return len(k.queue) }
 // global quiescence detection across kernels.
 func (k *Kernel) Pending() int { return k.pending }
 
+// String summarizes the kernel state for diagnostics.
 func (k *Kernel) String() string {
 	return fmt.Sprintf("kernel(now=%s queued=%d fired=%d)", k.now, len(k.queue), k.fired)
 }

@@ -20,8 +20,13 @@ const (
 // Killed is the panic value used to unwind a process goroutine during
 // Kernel.Shutdown. Process bodies must let it propagate (a deferred
 // recover must re-panic on it).
-type Killed struct{ Name string }
+type Killed struct {
+	// Name is the killed process's name.
+	Name string
+}
 
+// Error renders the kill reason (Killed satisfies error so that test
+// harnesses can match it).
 func (k Killed) Error() string { return "des: process killed: " + k.Name }
 
 // Process is a simulated thread of control. Its body runs on a dedicated
@@ -219,6 +224,7 @@ func (p *Process) Unpark() {
 // before the process continues (equivalent to WaitUntil(now)).
 func (p *Process) Yield() { p.WaitUntil(p.k.now) }
 
+// String identifies the process by name for diagnostics.
 func (p *Process) String() string {
 	return fmt.Sprintf("process(%s)", p.name)
 }

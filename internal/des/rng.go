@@ -147,6 +147,37 @@ func (r *Rand) Norm(mean, sigma float64) float64 {
 	}
 }
 
+// mixStep is one splitmix64 finalization round: a bijective avalanche
+// over 64 bits.
+func mixStep(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix3 hashes three 64-bit words into one well-mixed word by chaining
+// splitmix64 finalization rounds. It is the building block for
+// *counter-based* randomness: deriving a variate as a pure function of
+// (seed, stream key, counter) makes the draw independent of execution
+// interleaving, unlike a sequential stream, which yields values in
+// whatever order its consumers happen to call it. The fault-injection
+// subsystem keys packet fates on (fault seed, directed link, packet
+// index) this way, so the same packet meets the same fate whether the
+// simulation runs on one kernel or sharded across a federation.
+func Mix3(a, b, c uint64) uint64 {
+	h := mixStep(a + 0x9e3779b97f4a7c15)
+	h = mixStep(h ^ (b + 0x3c6ef372fe94f82a))
+	h = mixStep(h ^ (c + 0xdaa66d2c7ddf743f))
+	return h
+}
+
+// UnitFloat64 maps 64 random bits to a uniform float64 in [0, 1) with 53
+// bits of precision, the same mapping Rand.Float64 uses. Combine with
+// Mix3 for counter-based probability draws.
+func UnitFloat64(bits uint64) float64 {
+	return float64(bits>>11) / (1 << 53)
+}
+
 // Perm returns a random permutation of [0, n) (Fisher-Yates).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)

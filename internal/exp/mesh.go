@@ -58,6 +58,39 @@ type MeshConfig struct {
 	// SwitchDelay is the store-and-forward delay added to inter-platform
 	// packets.
 	SwitchDelay logical.Duration
+
+	// Faults (optional, E11) installs a deterministic fault schedule:
+	// counter-based per-link loss, partitions and jitter bursts. Because
+	// fault-plan jitter only adds delay, the federation lookahead remains
+	// LinkLatency. Leave nil for the fault-free E10 scenario.
+	Faults *simnet.FaultPlan
+	// CallTimeout (optional) bounds every client call; expiry is counted
+	// as an observable error in the report. Required when Faults can drop
+	// request or response packets — without it a lost call would park its
+	// client forever. Each client adds a small deterministic skew so that
+	// timeout events never tie across platforms.
+	CallTimeout logical.Duration
+	// Crash (optional, E11) schedules a platform crash and restart.
+	Crash *CrashPlan
+}
+
+// CrashPlan schedules a host failure inside a mesh run: the platform
+// crashes at At (endpoints close, in-flight packets to it drop, its
+// client exits when it observes the outage), and — if RestartAt > At —
+// comes back with a rebuilt runtime whose skeleton re-offers, after
+// which a reborn client issues RebornRounds more call rounds. All times
+// are simulated, so the schedule is identical in every execution mode.
+type CrashPlan struct {
+	// Platform indexes the platform to crash.
+	Platform int
+	// At is the crash instant.
+	At logical.Time
+	// RestartAt is the restart instant; zero (or ≤ At) means the
+	// platform stays down.
+	RestartAt logical.Time
+	// RebornRounds is the number of call rounds the restarted platform's
+	// client runs.
+	RebornRounds int
 }
 
 // DefaultMeshConfig returns the E10 scenario for n platforms.
@@ -93,13 +126,29 @@ func (c *MeshConfig) normalize() error {
 	if c.LinkLatency <= 0 {
 		return fmt.Errorf("exp: mesh needs positive link latency (it is the federation lookahead)")
 	}
+	if c.CallTimeout <= 0 {
+		// Without a timeout a lost request or response would park its
+		// client process forever and the run would end with silently
+		// missing calls — enforce the documented precondition.
+		if c.Crash != nil {
+			return fmt.Errorf("exp: a crash plan requires CallTimeout > 0 (calls into the outage must fail observably)")
+		}
+		if f := c.Faults; f != nil && (f.DropRate > 0 || len(f.Loss) > 0 || len(f.Partitions) > 0) {
+			return fmt.Errorf("exp: a fault plan that can drop packets requires CallTimeout > 0")
+		}
+	}
 	return nil
 }
 
-// MeshPlatformRow is the per-platform slice of the E10 report.
+// MeshPlatformRow is the per-platform slice of the E10/E11 report.
 type MeshPlatformRow struct {
-	Calls     int
-	Served    int
+	Calls  int
+	Served int
+	// Errors counts observable call failures (timeouts, send errors);
+	// zero in the fault-free E10 scenario. Every error is also folded
+	// into RespHash, so two runs agree on *which* calls failed, not just
+	// how many.
+	Errors    int
 	RespHash  uint64
 	LatSumNs  int64
 	LatMaxNs  int64
@@ -138,14 +187,15 @@ func (r *MeshResult) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "E10 mesh seed=%d platforms=%d neighbors=%d rounds=%d\n",
 		r.Seed, r.Config.Platforms, r.Config.Neighbors, r.Config.Rounds)
-	totalCalls, totalServed := 0, 0
+	totalCalls, totalServed, totalErrors := 0, 0, 0
 	for i, row := range r.Rows {
-		fmt.Fprintf(&b, "plat%02d calls=%d served=%d resp=%016x latMeanNs=%d latMaxNs=%d noise=%016x\n",
-			i, row.Calls, row.Served, row.RespHash, row.LatMeanNs(), row.LatMaxNs, row.NoiseHash)
+		fmt.Fprintf(&b, "plat%02d calls=%d served=%d errs=%d resp=%016x latMeanNs=%d latMaxNs=%d noise=%016x\n",
+			i, row.Calls, row.Served, row.Errors, row.RespHash, row.LatMeanNs(), row.LatMaxNs, row.NoiseHash)
 		totalCalls += row.Calls
 		totalServed += row.Served
+		totalErrors += row.Errors
 	}
-	fmt.Fprintf(&b, "total calls=%d served=%d\n", totalCalls, totalServed)
+	fmt.Fprintf(&b, "total calls=%d served=%d errs=%d\n", totalCalls, totalServed, totalErrors)
 	return b.String()
 }
 
@@ -175,6 +225,7 @@ func newMeshSubstrate(seed uint64, cfg MeshConfig, partitions int) (*meshSubstra
 	netCfg := simnet.Config{
 		DefaultLatency: simnet.FixedLatency(cfg.LinkLatency),
 		SwitchDelay:    cfg.SwitchDelay,
+		Faults:         cfg.Faults,
 	}
 	s := &meshSubstrate{}
 	if partitions <= 1 {
@@ -201,6 +252,12 @@ func newMeshSubstrate(seed uint64, cfg MeshConfig, partitions int) (*meshSubstra
 }
 
 func meshHostName(i int) string { return fmt.Sprintf("plat%02d", i) }
+
+// MeshHostID returns the simnet host ID platform i receives during mesh
+// construction, in every execution mode: hosts are added in platform
+// order and both Network and Cluster allocate IDs sequentially from 1.
+// Fault plans that target specific mesh links are built from it.
+func MeshHostID(i int) uint16 { return uint16(i) + 1 }
 
 func (s *meshSubstrate) run() {
 	if s.fed != nil {
@@ -244,13 +301,169 @@ func meshIface(i int) *ara.ServiceInterface {
 	}
 }
 
-// RunMesh executes E10 once. partitions <= 1 selects the classic
+// buildMeshServer creates the platform's runtime, compute skeleton and
+// local-noise sink. It is used for initial construction and again by the
+// crash plan's restart path (with a distinct runtime name, so RNG stream
+// labels never collide between the two incarnations). Served counts and
+// the noise hash continue across a restart: the rows carry the
+// platform's whole history.
+func buildMeshServer(cfg MeshConfig, host *simnet.Host, rows []MeshPlatformRow, i int, name string) (*ara.Runtime, error) {
+	zeroJitter := func(*des.Rand) logical.Duration { return 0 }
+	rt, err := ara.NewRuntime(host, ara.Config{
+		Name: name,
+		Port: meshPort,
+		Exec: ara.ExecConfig{Workers: 2, Serialized: true, DispatchJitter: zeroJitter},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sk, err := rt.NewSkeleton(meshIface(i), 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := sk.Handle("compute", func(c *ara.Ctx, args []byte) ([]byte, error) {
+		rows[i].Served++
+		h := fnvOffset
+		for _, by := range args {
+			h = fnvMix(h, uint64(by))
+		}
+		h = fnvMix(h, uint64(i))
+		h = fnvMix(h, uint64(rows[i].Served))
+		if cfg.WorkSpread > 0 {
+			c.Exec(cfg.WorkBase + logical.Duration(h%uint64(cfg.WorkSpread)))
+		} else if cfg.WorkBase > 0 {
+			c.Exec(cfg.WorkBase)
+		}
+		var out [8]byte
+		binary.BigEndian.PutUint64(out[:], h)
+		return out[:], nil
+	}); err != nil {
+		return nil, err
+	}
+	k := rt.Kernel()
+	if k.Now() == 0 {
+		k.At(0, func() { sk.Offer() })
+	} else {
+		sk.Offer()
+	}
+
+	// Local noise sink: dense intra-platform load, hashed into the
+	// report so both modes must schedule it identically.
+	sink := host.MustBind(meshNoisePort)
+	if rows[i].NoiseHash == 0 {
+		rows[i].NoiseHash = fnvOffset
+	}
+	sink.OnReceive(func(dg simnet.Datagram) {
+		h := rows[i].NoiseHash
+		h = fnvMix(h, uint64(dg.SentAt))
+		h = fnvMix(h, uint64(k.Now()))
+		h = fnvMix(h, uint64(binary.BigEndian.Uint32(dg.Payload)))
+		rows[i].NoiseHash = h
+	})
+	return rt, nil
+}
+
+// spawnMeshClient starts platform i's client process: rounds call rounds
+// over its ring neighbors, folding every response — and every observable
+// failure — into the platform's row. If the platform crashes, the client
+// exits at the first call it observes the outage on (a dead process
+// issues nothing); the crash plan's reborn client picks up after the
+// restart. marker distinguishes incarnations in the hash.
+func spawnMeshClient(cfg MeshConfig, sub *meshSubstrate, rt *ara.Runtime, rows []MeshPlatformRow, i, rounds int, marker uint64) {
+	n := cfg.Platforms
+	host := sub.hosts[i]
+
+	// Static peer configuration (the federation has no cross-partition
+	// service discovery, mirroring the UDP deployment path).
+	proxies := make([]*ara.Proxy, 0, cfg.Neighbors)
+	targets := make([]int, 0, cfg.Neighbors)
+	for d := 1; d <= cfg.Neighbors; d++ {
+		j := (i + d) % n
+		proxies = append(proxies, rt.StaticProxy(meshIface(j), 1,
+			simnet.Addr{Host: sub.hosts[j].ID(), Port: meshPort}))
+		targets = append(targets, j)
+	}
+
+	// Deterministic per-client skew keeps request arrivals at any
+	// server from colliding at identical timestamps, where single- and
+	// multi-kernel tie-breaking could legitimately differ. The timeout
+	// gets the same treatment so expiry events never tie across
+	// platforms either.
+	phase := logical.Duration(i)*977*logical.Microsecond + logical.Duration(i)*13
+	gap := cfg.Gap + logical.Duration(i)*1013
+	timeout := cfg.CallTimeout
+	if timeout > 0 {
+		timeout += logical.Duration(i) * 131
+	}
+
+	if rows[i].RespHash == 0 {
+		rows[i].RespHash = fnvOffset
+	}
+	rt.Spawn("client", func(c *ara.Ctx) {
+		c.Exec(phase)
+		var req [12]byte
+		for round := 0; round < rounds; round++ {
+			if host.Down() {
+				// The platform died under us: record the exit and stop —
+				// a crashed process issues no further calls.
+				rows[i].RespHash = fnvMix(rows[i].RespHash, 0xc0a5)
+				return
+			}
+			for t, px := range proxies {
+				binary.BigEndian.PutUint16(req[0:], uint16(i))
+				binary.BigEndian.PutUint16(req[2:], uint16(targets[t]))
+				binary.BigEndian.PutUint32(req[4:], uint32(round))
+				binary.BigEndian.PutUint32(req[8:], uint32(t))
+				t0 := c.Now()
+				fut := px.Call("compute", req[:])
+				var resp []byte
+				var err error
+				if timeout > 0 {
+					resp, err = fut.GetTimeout(c.Process(), timeout)
+				} else {
+					resp, err = fut.Get(c.Process())
+				}
+				if err != nil {
+					// Observable, never silent: fold the failure — and
+					// which call it was — into the report.
+					rows[i].Errors++
+					h := rows[i].RespHash
+					h = fnvMix(h, 0xdead)
+					h = fnvMix(h, marker)
+					h = fnvMix(h, uint64(targets[t]))
+					h = fnvMix(h, uint64(round))
+					rows[i].RespHash = h
+					continue
+				}
+				rtt := int64(c.Now() - t0)
+				rows[i].Calls++
+				h := rows[i].RespHash
+				h = fnvMix(h, marker)
+				h = fnvMix(h, uint64(targets[t]))
+				h = fnvMix(h, binary.BigEndian.Uint64(resp))
+				h = fnvMix(h, uint64(rtt))
+				rows[i].RespHash = h
+				rows[i].LatSumNs += rtt
+				if rtt > rows[i].LatMaxNs {
+					rows[i].LatMaxNs = rtt
+				}
+			}
+			c.Exec(gap)
+		}
+	})
+}
+
+// RunMesh executes E10 (and, with MeshConfig.Faults/Crash set, the E11
+// fault scenario) once. partitions <= 1 selects the classic
 // single-kernel substrate; larger values shard the platforms round-robin
 // over that many federated kernels. For a fixed (seed, cfg) the Report
 // is identical for every partition count.
 func RunMesh(seed uint64, cfg MeshConfig, partitions int) (*MeshResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	if cfg.Crash != nil && (cfg.Crash.Platform < 0 || cfg.Crash.Platform >= cfg.Platforms) {
+		return nil, fmt.Errorf("exp: crash platform %d out of range", cfg.Crash.Platform)
 	}
 	sub, err := newMeshSubstrate(seed, cfg, partitions)
 	if err != nil {
@@ -260,7 +473,6 @@ func RunMesh(seed uint64, cfg MeshConfig, partitions int) (*MeshResult, error) {
 	res := &MeshResult{Seed: seed, Config: cfg, Rows: make([]MeshPlatformRow, n)}
 	rows := res.Rows
 
-	zeroJitter := func(*des.Rand) logical.Duration { return 0 }
 	runtimes := make([]*ara.Runtime, n)
 
 	// Pass 1: servers. Every platform offers its compute service and
@@ -268,120 +480,27 @@ func RunMesh(seed uint64, cfg MeshConfig, partitions int) (*MeshResult, error) {
 	// part of the determinism contract, so construction order is fixed:
 	// all servers before all clients.
 	for i := 0; i < n; i++ {
-		i := i
-		host := sub.hosts[i]
-		rt, err := ara.NewRuntime(host, ara.Config{
-			Name: fmt.Sprintf("mesh%02d", i),
-			Port: meshPort,
-			Exec: ara.ExecConfig{Workers: 2, Serialized: true, DispatchJitter: zeroJitter},
-		})
+		rt, err := buildMeshServer(cfg, sub.hosts[i], rows, i, fmt.Sprintf("mesh%02d", i))
 		if err != nil {
 			return nil, err
 		}
 		runtimes[i] = rt
-		sk, err := rt.NewSkeleton(meshIface(i), 1)
-		if err != nil {
-			return nil, err
-		}
-		if err := sk.Handle("compute", func(c *ara.Ctx, args []byte) ([]byte, error) {
-			rows[i].Served++
-			h := fnvOffset
-			for _, by := range args {
-				h = fnvMix(h, uint64(by))
-			}
-			h = fnvMix(h, uint64(i))
-			h = fnvMix(h, uint64(rows[i].Served))
-			if cfg.WorkSpread > 0 {
-				c.Exec(cfg.WorkBase + logical.Duration(h%uint64(cfg.WorkSpread)))
-			} else if cfg.WorkBase > 0 {
-				c.Exec(cfg.WorkBase)
-			}
-			var out [8]byte
-			binary.BigEndian.PutUint64(out[:], h)
-			return out[:], nil
-		}); err != nil {
-			return nil, err
-		}
-		k := rt.Kernel()
-		k.At(0, func() { sk.Offer() })
-
-		// Local noise sink: dense intra-platform load, hashed into the
-		// report so both modes must schedule it identically.
-		sink := host.MustBind(meshNoisePort)
-		rows[i].NoiseHash = fnvOffset
-		sink.OnReceive(func(dg simnet.Datagram) {
-			h := rows[i].NoiseHash
-			h = fnvMix(h, uint64(dg.SentAt))
-			h = fnvMix(h, uint64(k.Now()))
-			h = fnvMix(h, uint64(binary.BigEndian.Uint32(dg.Payload)))
-			rows[i].NoiseHash = h
-		})
 	}
 
 	// Pass 2: clients and noise generators.
 	for i := 0; i < n; i++ {
 		i := i
-		rt := runtimes[i]
 		host := sub.hosts[i]
-
-		// Static peer configuration (the federation has no cross-partition
-		// service discovery, mirroring the UDP deployment path).
-		proxies := make([]*ara.Proxy, 0, cfg.Neighbors)
-		targets := make([]int, 0, cfg.Neighbors)
-		for d := 1; d <= cfg.Neighbors; d++ {
-			j := (i + d) % n
-			proxies = append(proxies, rt.StaticProxy(meshIface(j), 1,
-				simnet.Addr{Host: sub.hosts[j].ID(), Port: meshPort}))
-			targets = append(targets, j)
-		}
-
-		// Deterministic per-client skew keeps request arrivals at any
-		// server from colliding at identical timestamps, where single- and
-		// multi-kernel tie-breaking could legitimately differ.
-		phase := logical.Duration(i)*977*logical.Microsecond + logical.Duration(i)*13
-		gap := cfg.Gap + logical.Duration(i)*1013
-
-		rows[i].RespHash = fnvOffset
-		rt.Spawn("client", func(c *ara.Ctx) {
-			c.Exec(phase)
-			var req [12]byte
-			for round := 0; round < cfg.Rounds; round++ {
-				for t, px := range proxies {
-					binary.BigEndian.PutUint16(req[0:], uint16(i))
-					binary.BigEndian.PutUint16(req[2:], uint16(targets[t]))
-					binary.BigEndian.PutUint32(req[4:], uint32(round))
-					binary.BigEndian.PutUint32(req[8:], uint32(t))
-					t0 := c.Now()
-					resp, err := px.Call("compute", req[:]).Get(c.Process())
-					if err != nil {
-						// Observable, never silent: fold the failure into
-						// the report.
-						rows[i].RespHash = fnvMix(rows[i].RespHash, 0xdead)
-						continue
-					}
-					rtt := int64(c.Now() - t0)
-					rows[i].Calls++
-					h := rows[i].RespHash
-					h = fnvMix(h, uint64(targets[t]))
-					h = fnvMix(h, binary.BigEndian.Uint64(resp))
-					h = fnvMix(h, uint64(rtt))
-					rows[i].RespHash = h
-					rows[i].LatSumNs += rtt
-					if rtt > rows[i].LatMaxNs {
-						rows[i].LatMaxNs = rtt
-					}
-				}
-				c.Exec(gap)
-			}
-		})
+		spawnMeshClient(cfg, sub, runtimes[i], rows, i, cfg.Rounds, 0)
 
 		// Local load generator: loopback datagrams on this platform only,
 		// so its cost parallelizes across partitions without changing any
-		// cross-platform interaction.
+		// cross-platform interaction. If the platform crashes, its source
+		// endpoint closes and the remaining sends are suppressed.
 		if cfg.NoiseEvents > 0 {
 			src := host.MustBind(meshNoisePort + 1)
 			sinkAddr := simnet.Addr{Host: host.ID(), Port: meshNoisePort}
-			k := rt.Kernel()
+			k := runtimes[i].Kernel()
 			k.Spawn(fmt.Sprintf("noise%02d", i), func(p *des.Process) {
 				var buf [4]byte
 				for m := 0; m < cfg.NoiseEvents; m++ {
@@ -389,6 +508,28 @@ func RunMesh(seed uint64, cfg MeshConfig, partitions int) (*MeshResult, error) {
 					src.Send(sinkAddr, buf[:])
 					p.Sleep(cfg.NoiseInterval)
 				}
+			})
+		}
+	}
+
+	// Pass 3: the crash plan. The schedule is installed up front as
+	// ordinary kernel events, so it is ordered deterministically against
+	// all traffic in every execution mode.
+	if cp := cfg.Crash; cp != nil {
+		host := sub.hosts[cp.Platform]
+		host.Crash(cp.At)
+		if cp.RestartAt > cp.At {
+			host.Restart(cp.RestartAt, func() {
+				// Rebuild the platform's stack from scratch, as a rebooted
+				// AP node would: fresh runtime (distinct name — stream
+				// labels must not collide with the dead incarnation),
+				// skeleton re-offered, reborn client.
+				rt, err := buildMeshServer(cfg, host, rows, cp.Platform,
+					fmt.Sprintf("mesh%02dr", cp.Platform))
+				if err != nil {
+					panic(err)
+				}
+				spawnMeshClient(cfg, sub, rt, rows, cp.Platform, cp.RebornRounds, 0x7eb0)
 			})
 		}
 	}
@@ -405,31 +546,41 @@ func RunMesh(seed uint64, cfg MeshConfig, partitions int) (*MeshResult, error) {
 // different seeds do produce different reports — the gate is not
 // vacuous). It returns the per-seed reference reports.
 func RunMeshDeterminismCheck(seedBase uint64, seeds int, cfg MeshConfig, partitionCounts []int) ([]string, error) {
+	_, reports, err := runMeshDeterminism(seedBase, seeds, cfg, partitionCounts)
+	return reports, err
+}
+
+// runMeshDeterminism is the shared engine behind the E10 and E11
+// gates: it returns the per-seed single-kernel reference results (for
+// structured assertions) alongside their canonical reports.
+func runMeshDeterminism(seedBase uint64, seeds int, cfg MeshConfig, partitionCounts []int) ([]*MeshResult, []string, error) {
+	var refs []*MeshResult
 	var reports []string
 	for s := 0; s < seeds; s++ {
 		seed := seedBase + uint64(s)
 		ref, err := RunMesh(seed, cfg, 1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		refReport := ref.Report()
 		for _, p := range partitionCounts {
 			got, err := RunMesh(seed, cfg, p)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if r := got.Report(); r != refReport {
-				return nil, fmt.Errorf(
+				return nil, nil, fmt.Errorf(
 					"exp: mesh diverged at seed %d, %d partitions:\n--- single kernel ---\n%s--- federated ---\n%s",
 					seed, p, refReport, r)
 			}
 		}
+		refs = append(refs, ref)
 		reports = append(reports, refReport)
 	}
 	for i := 1; i < len(reports); i++ {
 		if reports[i] == reports[0] {
-			return reports, fmt.Errorf("exp: mesh reports identical across different seeds — gate is vacuous")
+			return refs, reports, fmt.Errorf("exp: mesh reports identical across different seeds — gate is vacuous")
 		}
 	}
-	return reports, nil
+	return refs, reports, nil
 }

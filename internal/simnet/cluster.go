@@ -22,8 +22,11 @@ import (
 //     random streams — FixedLatency is the canonical choice). A shared
 //     jitter stream would be consumed in global event order on one kernel
 //     but in per-partition order on a federation.
-//   - DropRate must be zero: packet drops consume the per-network drop
-//     stream in delivery order, which differs across partitionings.
+//   - DropRate and FaultPlans are fully supported: packet fates are
+//     counter-based (see FaultPlan) — keyed on (seed, directed link,
+//     packet index) rather than drawn from a shared sequential stream —
+//     so a drop, blackout or jitter decision is a pure function that
+//     both execution modes evaluate identically.
 //   - Multicast groups are per-partition: a group member receives
 //     cross-partition traffic only if the sender's partition also has the
 //     group (service discovery therefore spans one partition; federated
@@ -42,13 +45,24 @@ type Cluster struct {
 // NewCluster creates a partitioned network over the federation. The
 // configuration applies uniformly: every partition's Network uses it for
 // intra-partition traffic, and cross-partition links use the same default
-// latency model and switch delay, so a host pair observes identical
-// timing whether or not it is co-partitioned. DefaultLatency must
-// implement MinLatencyModel and have a positive minimum (plus switch
-// delay); DropRate must be zero.
+// latency model, switch delay and fault plan, so a host pair observes
+// identical timing (and identical packet fates) whether or not it is
+// co-partitioned. DefaultLatency must implement MinLatencyModel and have
+// a positive minimum (plus switch delay). DropRate and Faults may be
+// nonzero: counter-based fault streams are interleaving-independent, so
+// they do not break cross-mode byte-equality — and because fault-plan
+// jitter only ever adds delay, the lookahead derived from the link
+// model's minimum remains conservative under any plan.
 func NewCluster(fed *des.Federation, cfg Config) (*Cluster, error) {
-	if cfg.DropRate != 0 {
-		return nil, fmt.Errorf("simnet: cluster requires DropRate 0 (drops would desynchronize partition RNG streams)")
+	// Surface fault-configuration mistakes as errors here; the same
+	// checks panic later in NewNetwork, whose signature predates them.
+	if cfg.DropRate < 0 || cfg.DropRate > 1 {
+		return nil, fmt.Errorf("simnet: cluster DropRate %v outside [0,1]", cfg.DropRate)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	model := cfg.DefaultLatency
 	if model == nil {
@@ -191,11 +205,19 @@ func (c *Cluster) route(from int, src *Endpoint, dg Datagram) bool {
 	if !ok {
 		return false
 	}
+	// The sending partition owns the directed-link packet counter, so the
+	// fault verdict here consumes exactly the index a single-kernel run
+	// would for this packet.
+	drop, extra := c.parts[from].faultVerdict(dg.Src.Host, dg.Dst.Host)
+	if drop {
+		c.parts[from].dropped++
+		return true
+	}
 	model := MinLatencyModel(c.model)
 	if m, ok := c.links[linkKey(dg.Src.Host, dg.Dst.Host)]; ok {
 		model = m
 	}
-	lat := model.Latency(len(dg.Payload)) + c.switchDelay
+	lat := model.Latency(len(dg.Payload)) + c.switchDelay + extra
 	target := c.parts[to]
 	at := c.parts[from].k.Now().Add(lat)
 	c.chans[from][to].Send(at, func() { target.deliver(dg) })

@@ -19,10 +19,14 @@ type starRecorder struct {
 
 func runStar(t *testing.T, partitions, hosts, msgs int) []string {
 	t.Helper()
-	cfg := Config{
+	return runStarCfg(t, Config{
 		DefaultLatency: FixedLatency(120 * logical.Microsecond),
 		SwitchDelay:    20 * logical.Microsecond,
-	}
+	}, partitions, hosts, msgs)
+}
+
+func runStarCfg(t *testing.T, cfg Config, partitions, hosts, msgs int) []string {
+	t.Helper()
 	var nets []*Network
 	var hs []*Host
 	var fed *des.Federation
@@ -113,6 +117,79 @@ func TestClusterMatchesSingleNetwork(t *testing.T) {
 	}
 }
 
+// Regression for the lifted DropRate restriction: a federated run with
+// nonzero drop rate must match the single-kernel run byte-for-byte —
+// both the delivery trace and the loss accounting. This is exactly what
+// the old shared-stream drop implementation could not provide (drops
+// consumed one sequential stream in delivery order, which differs
+// across partitionings) and what the counter-based per-link streams do.
+func TestClusterDropRateMatchesSingleNetwork(t *testing.T) {
+	cfg := Config{
+		DefaultLatency: FixedLatency(120 * logical.Microsecond),
+		SwitchDelay:    20 * logical.Microsecond,
+		DropRate:       0.3,
+	}
+	want := runStarCfg(t, cfg, 1, 5, 12)
+	if len(want) == 0 {
+		t.Fatal("single-kernel reference produced no traffic")
+	}
+	full := runStar(t, 1, 5, 12)
+	if len(want) >= len(full) {
+		t.Fatalf("drop rate lost nothing: %d deliveries with drops, %d without", len(want), len(full))
+	}
+	for _, parts := range []int{2, 3, 5} {
+		got := runStarCfg(t, cfg, parts, 5, 12)
+		if len(got) != len(want) {
+			t.Fatalf("parts=%d: %d deliveries, want %d", parts, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parts=%d: delivery %d = %q, want %q", parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A full fault plan — background loss, a loss window, a partition
+// blackout and a jitter burst — must also survive sharding unchanged.
+func TestClusterFaultPlanMatchesSingleNetwork(t *testing.T) {
+	cfg := Config{
+		DefaultLatency: FixedLatency(120 * logical.Microsecond),
+		SwitchDelay:    20 * logical.Microsecond,
+		Faults: &FaultPlan{
+			Seed:     7,
+			DropRate: 0.05,
+			Loss: []LossWindow{{
+				From: 2 * logical.Time(logical.Millisecond), To: 4 * logical.Time(logical.Millisecond),
+				A: 1, B: 0, Rate: 0.6,
+			}},
+			Partitions: []PartitionWindow{{
+				From: 5 * logical.Time(logical.Millisecond), To: 6 * logical.Time(logical.Millisecond),
+				GroupA: []uint16{1, 2}, GroupB: []uint16{3, 4, 5},
+			}},
+			Jitter: []JitterBurst{{
+				From: 0, To: 3 * logical.Time(logical.Millisecond),
+				A: 2, B: 3, Extra: 400 * logical.Microsecond,
+			}},
+		},
+	}
+	want := runStarCfg(t, cfg, 1, 5, 12)
+	if len(want) == 0 {
+		t.Fatal("single-kernel reference produced no traffic")
+	}
+	for _, parts := range []int{2, 4, 5} {
+		got := runStarCfg(t, cfg, parts, 5, 12)
+		if len(got) != len(want) {
+			t.Fatalf("parts=%d: %d deliveries, want %d", parts, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parts=%d: delivery %d = %q, want %q", parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestClusterCountsUnknownHostDrops(t *testing.T) {
 	fed := des.NewFederation(1, 2)
 	c, err := NewCluster(fed, Config{})
@@ -179,12 +256,23 @@ func TestClusterSetLinkLowersLookahead(t *testing.T) {
 }
 
 func TestClusterRejectsBadConfigs(t *testing.T) {
-	fed := des.NewFederation(1, 2)
-	if _, err := NewCluster(fed, Config{DropRate: 0.1}); err == nil {
-		t.Error("DropRate must be rejected")
+	// DropRate is supported since drops moved to counter-based per-link
+	// streams (it used to be rejected as a shared-stream determinism
+	// hazard).
+	if _, err := NewCluster(des.NewFederation(1, 2), Config{DropRate: 0.1}); err != nil {
+		t.Errorf("DropRate must be accepted now: %v", err)
 	}
 	if _, err := NewCluster(des.NewFederation(1, 2), Config{DefaultLatency: jitterNoMin{}}); err == nil {
 		t.Error("latency model without MinLatency must be rejected")
+	}
+	// Invalid fault configurations surface as errors, not panics.
+	if _, err := NewCluster(des.NewFederation(1, 2), Config{DropRate: 1.5}); err == nil {
+		t.Error("out-of-range DropRate must be rejected")
+	}
+	if _, err := NewCluster(des.NewFederation(1, 2), Config{
+		Faults: &FaultPlan{Loss: []LossWindow{{From: 5, To: 1, Rate: 0.5}}},
+	}); err == nil {
+		t.Error("ill-formed fault plan must be rejected")
 	}
 	if _, err := NewCluster(des.NewFederation(1, 2), Config{DefaultLatency: FixedLatency(0)}); err == nil {
 		t.Error("zero lookahead must be rejected")

@@ -22,7 +22,10 @@ import (
 // (mirroring UDP ports). Host values at or above MulticastBase denote
 // multicast groups.
 type Addr struct {
+	// Host is the network-assigned platform ID (or multicast group at or
+	// above MulticastBase).
 	Host uint16
+	// Port is the application-chosen endpoint number.
 	Port uint16
 }
 
@@ -36,12 +39,16 @@ func (a Addr) IsMulticast() bool { return a.Host >= MulticastBase }
 // address interface of the someip package (net.Addr shape).
 func (a Addr) Network() string { return "sim" }
 
+// String renders the address as "host:port".
 func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Host, a.Port) }
 
 // Datagram is a routed message.
 type Datagram struct {
+	// Src and Dst are the source and destination endpoint addresses.
 	Src, Dst Addr
-	Payload  []byte
+	// Payload is the carried bytes (owned by the receiver; senders'
+	// buffers are copied on Send).
+	Payload []byte
 	// SentAt is the global simulated time the datagram entered the network.
 	SentAt logical.Time
 }
@@ -75,6 +82,7 @@ func (f FixedLatency) MinLatency() logical.Duration { return logical.Duration(f)
 // Figure 5 experiments: Ethernet-scale base latency with submillisecond
 // jitter.
 type JitterLatency struct {
+	// Base is the fixed propagation delay.
 	Base logical.Duration
 	// PerByte is the serialization cost per payload byte (e.g. 8ns/byte
 	// for 1 Gbit/s).
@@ -83,6 +91,9 @@ type JitterLatency struct {
 	Sigma logical.Duration
 	// Max caps the total jitter (truncation); zero means 4*Sigma.
 	Max logical.Duration
+	// Rng draws the jitter. It must be a stream owned by the kernel the
+	// model is consulted on (determinism), which is why RNG-backed
+	// models are rejected on cross-partition Cluster links.
 	Rng *des.Rand
 }
 
@@ -129,11 +140,21 @@ type Network struct {
 	// switchDelay models store-and-forward queuing through the switch for
 	// packets crossing hosts; zero for loopback traffic.
 	switchDelay logical.Duration
-	dropRate    float64
-	dropRng     *des.Rand
-	delivered   uint64
-	dropped     uint64
-	groups      map[Addr][]*Endpoint
+	// faults is the installed fault schedule (nil = fault-free network).
+	// Packet fates are counter-based — see FaultPlan — which is what
+	// keeps them identical between a single kernel and a federation.
+	faults *FaultPlan
+	// faultSeed is derived from the kernel's labeled stream space, so it
+	// is identical on every partition kernel of a federation.
+	faultSeed uint64
+	// linkSeq counts packets per *directed* (src host, dst host) link;
+	// the count is the packet index fed to FaultPlan.verdict. A directed
+	// link's counter only advances on sends from its source host, which
+	// fire in the same order under any partitioning.
+	linkSeq   map[[2]uint16]uint64
+	delivered uint64
+	dropped   uint64
+	groups    map[Addr][]*Endpoint
 	// router, when set, takes over datagrams addressed to hosts this
 	// Network does not own. A federated Cluster installs one per partition
 	// to forward cross-partition traffic through timestamped channels.
@@ -149,25 +170,71 @@ type Config struct {
 	SwitchDelay logical.Duration
 	// DropRate is the probability of silently losing an inter-host packet
 	// (the paper's AP stack gives no delivery guarantee; default 0).
+	// Drops are drawn from counter-based per-link streams, so they are
+	// independent of execution interleaving and safe on a federated
+	// Cluster. A nonzero DropRate is shorthand for a FaultPlan with only
+	// the background rate set.
 	DropRate float64
+	// Faults installs a full fault schedule (loss windows, partitions,
+	// jitter bursts); see FaultPlan. A nonzero DropRate combines with it
+	// as the background loss floor. The plan must not be mutated after
+	// the network is created.
+	Faults *FaultPlan
 }
 
-// NewNetwork creates a network on the kernel.
+// NewNetwork creates a network on the kernel. It panics on an invalid
+// fault configuration (rates outside [0,1], ill-formed windows).
 func NewNetwork(k *des.Kernel, cfg Config) *Network {
 	model := cfg.DefaultLatency
 	if model == nil {
 		model = FixedLatency(50 * logical.Microsecond)
 	}
-	return &Network{
+	n := &Network{
 		k:            k,
 		hosts:        map[uint16]*Host{},
 		defaultModel: model,
 		links:        map[[2]uint16]LatencyModel{},
 		switchDelay:  cfg.SwitchDelay,
-		dropRate:     cfg.DropRate,
-		dropRng:      k.Rand("simnet.drop"),
+		faultSeed:    k.Rand("simnet.fault").Uint64(),
+		linkSeq:      map[[2]uint16]uint64{},
 		groups:       map[Addr][]*Endpoint{},
 	}
+	plan := cfg.Faults
+	if cfg.DropRate != 0 {
+		// Fold the shorthand into a plan without mutating the caller's.
+		merged := FaultPlan{DropRate: cfg.DropRate}
+		if plan != nil {
+			merged = *plan
+			if cfg.DropRate > merged.DropRate {
+				merged.DropRate = cfg.DropRate
+			}
+		}
+		plan = &merged
+	}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			panic(err)
+		}
+		n.faults = plan
+	}
+	return n
+}
+
+// Faults returns the installed fault plan (nil on a fault-free network).
+func (n *Network) Faults() *FaultPlan { return n.faults }
+
+// faultVerdict consumes the directed-link packet counter src→dst and
+// computes the packet's fate under the installed plan. Must be called
+// exactly once per inter-host packet (unicast and Cluster.route share
+// it), at send time, on the kernel owning the source host.
+func (n *Network) faultVerdict(src, dst uint16) (drop bool, extra logical.Duration) {
+	if n.faults == nil {
+		return false, 0
+	}
+	dl := [2]uint16{src, dst}
+	idx := n.linkSeq[dl]
+	n.linkSeq[dl] = idx + 1
+	return n.faults.verdict(n.faultSeed, src, dst, idx, n.k.Now())
 }
 
 // JoinGroup subscribes the endpoint to a multicast group address. Packets
@@ -206,7 +273,13 @@ func (n *Network) Delivered() uint64 { return n.delivered }
 func (n *Network) Dropped() uint64 { return n.dropped }
 
 // SetLink installs a latency model for traffic between hosts a and b
-// (both directions).
+// (both directions), overriding the network's default model for that
+// pair. Determinism preconditions: install links before traffic flows,
+// and give any stateful model (e.g. *JitterLatency with an Rng) a
+// stream owned by this network's kernel — a model shared across kernels
+// would be consumed in partition-dependent order. On a federated
+// Cluster use Cluster.SetLink instead, which additionally enforces the
+// MinLatencyModel/RNG-free contract for cross-partition pairs.
 func (n *Network) SetLink(a, b uint16, m LatencyModel) {
 	n.links[linkKey(a, b)] = m
 }
@@ -227,6 +300,9 @@ type Host struct {
 	// loopback is the intra-host delivery latency.
 	loopback LatencyModel
 	clock    *des.LocalClock
+	// down marks a crashed host: no endpoint is bound, sends from stale
+	// endpoints are suppressed, deliveries drop.
+	down bool
 }
 
 // AddHost attaches a new platform. The clock may be nil for hosts that
@@ -267,8 +343,63 @@ func (h *Host) Name() string { return h.name }
 // Clock returns the host's local clock (may be nil).
 func (h *Host) Clock() *des.LocalClock { return h.clock }
 
-// SetLoopback overrides the intra-host delivery latency model.
+// SetLoopback overrides the intra-host delivery latency model (default:
+// FixedLatency(5µs)). Like every latency model consulted on this host's
+// kernel, m must draw randomness only from streams owned by that kernel
+// (or none at all) to preserve determinism; on a Cluster the loopback
+// model is consulted exclusively by the host's own partition, so any
+// deterministic model is safe — the MinLatencyModel/RNG-free
+// restrictions apply only to inter-host links.
 func (h *Host) SetLoopback(m LatencyModel) { h.loopback = m }
+
+// Down reports whether the host is currently crashed.
+func (h *Host) Down() bool { return h.down }
+
+// Crash schedules the host to fail at simulated time at: every bound
+// endpoint closes and leaves its multicast groups, packets still in
+// flight toward the host are dropped at delivery time, and sends
+// through stale endpoint handles are silently suppressed (a dead host
+// transmits nothing — in particular it sends no SD stop-offer, so
+// remote agents only learn of the loss through TTL expiry). Processes
+// and callbacks of runtimes on the host are not terminated; application
+// code models process death by observing Down. Crash is deterministic:
+// the teardown runs as an ordinary kernel event, so it is ordered
+// against all other events by the usual (time, sequence) rule, which is
+// identical in single-kernel and federated execution.
+func (h *Host) Crash(at logical.Time) {
+	h.net.k.AtTransient(at, h.crashNow)
+}
+
+// Restart schedules the host to come back at simulated time at, with an
+// empty port space; rebuild (may be nil) then runs in the same kernel
+// event to reconstruct the application stack — typically by creating a
+// fresh ara runtime and re-running its offer phase, which re-announces
+// services through SOME/IP SD so that remote proxies re-bind.
+func (h *Host) Restart(at logical.Time, rebuild func()) {
+	h.net.k.AtTransient(at, func() {
+		h.down = false
+		if rebuild != nil {
+			rebuild()
+		}
+	})
+}
+
+// crashNow performs the teardown at the scheduled instant.
+func (h *Host) crashNow() {
+	if h.down {
+		return
+	}
+	h.down = true
+	for _, ep := range h.ports {
+		// Map iteration order is irrelevant: closing endpoints and
+		// removing group memberships commute.
+		ep.closed = true
+		for group := range h.net.groups {
+			h.net.LeaveGroup(group, ep)
+		}
+	}
+	h.ports = map[uint16]*Endpoint{}
+}
 
 // Endpoints returns the endpoints bound on this host in port order.
 func (h *Host) Endpoints() []*Endpoint {
@@ -293,8 +424,13 @@ type Endpoint struct {
 }
 
 // Bind allocates an endpoint on the given port. Port 0 picks a free
-// ephemeral port (≥ 49152). Binding an in-use port is an error.
+// ephemeral port (≥ 49152). Binding an in-use port, or any port on a
+// crashed host, is an error. Port selection is deterministic: it
+// depends only on the host's current port map, never on randomness.
 func (h *Host) Bind(port uint16) (*Endpoint, error) {
+	if h.down {
+		return nil, fmt.Errorf("simnet: host %s is down", h.name)
+	}
 	if port == 0 {
 		port = 49152
 		for {
@@ -335,10 +471,14 @@ func (e *Endpoint) Addr() Addr { return e.addr }
 // Host returns the owning host.
 func (e *Endpoint) Host() *Host { return e.host }
 
-// Close unbinds the endpoint; subsequent sends to it are dropped.
+// Close unbinds the endpoint; subsequent sends to it are dropped. A
+// stale Close — after the host crashed and a restarted stack re-bound
+// the same port — never unbinds the successor endpoint.
 func (e *Endpoint) Close() {
 	e.closed = true
-	delete(e.host.ports, e.addr.Port)
+	if e.host.ports[e.addr.Port] == e {
+		delete(e.host.ports, e.addr.Port)
+	}
 }
 
 // OnReceive installs a callback that consumes inbound datagrams as kernel
@@ -359,9 +499,14 @@ func (e *Endpoint) Pending() int { return e.mb.Len() }
 
 // Send routes a datagram to dst. The payload is copied, so callers may
 // reuse their buffer. Sending to an unbound destination silently drops
-// (UDP semantics). Delivery happens after the link latency (plus switch
-// delay for inter-host traffic).
+// (UDP semantics), and sending through a closed endpoint — including
+// every endpoint of a crashed host — is silently suppressed. Delivery
+// happens after the link latency (plus switch delay for inter-host
+// traffic and any fault-plan jitter).
 func (e *Endpoint) Send(dst Addr, payload []byte) {
+	if e.closed || e.host.down {
+		return
+	}
 	n := e.host.net
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
@@ -373,19 +518,29 @@ func (e *Endpoint) Send(dst Addr, payload []byte) {
 				continue
 			}
 			// Each member gets its own payload copy so receivers never
-			// alias one another's buffers.
+			// alias one another's buffers. Multicast fan-out is exempt
+			// from the fault plan: it stands in for true Ethernet
+			// multicast (the SD control plane), which the per-link fault
+			// model does not cover — and a federated Cluster fans
+			// multicast out per partition, so faulting it would consume
+			// link counters mode-dependently and break cross-mode
+			// byte-equality. SD is disturbed through host lifecycle
+			// (Crash silences a provider; TTL expiry follows), not
+			// through packet-level faults.
 			mbuf := make([]byte, len(buf))
 			copy(mbuf, buf)
-			n.unicast(e, Datagram{
+			n.route(e, Datagram{
 				Src: e.addr, Dst: member.addr, Payload: mbuf, SentAt: dg.SentAt,
-			})
+			}, false)
 		}
 		return
 	}
-	n.unicast(e, dg)
+	n.route(e, dg, true)
 }
 
-func (n *Network) unicast(e *Endpoint, dg Datagram) {
+// route schedules one datagram for delivery; faulted selects whether
+// the fault plan applies (unicast traffic) or not (multicast fan-out).
+func (n *Network) route(e *Endpoint, dg Datagram, faulted bool) {
 	dst := dg.Dst
 	payload := dg.Payload
 	var lat logical.Duration
@@ -401,11 +556,16 @@ func (n *Network) unicast(e *Endpoint, dg Datagram) {
 		if m, ok := n.links[linkKey(e.addr.Host, dst.Host)]; ok {
 			model = m
 		}
-		lat = model.Latency(len(payload)) + n.switchDelay
-		if n.dropRate > 0 && n.dropRng.Float64() < n.dropRate {
-			n.dropped++
-			return
+		var extra logical.Duration
+		if faulted {
+			var drop bool
+			drop, extra = n.faultVerdict(e.addr.Host, dst.Host)
+			if drop {
+				n.dropped++
+				return
+			}
 		}
+		lat = model.Latency(len(payload)) + n.switchDelay + extra
 	}
 	n.k.AfterTransient(lat, func() { n.deliver(dg) })
 }

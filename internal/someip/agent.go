@@ -52,11 +52,14 @@ type Agent struct {
 	session SessionID
 	cfg     AgentConfig
 
-	offers  map[ServiceKey]*localOffer
-	remote  map[ServiceKey]*remoteEntry
-	watch   map[ServiceKey][]func(RemoteService)
-	pending map[subKey][]func(ok bool)
-	active  map[subKey]bool // client-side subscriptions to keep renewed
+	offers map[ServiceKey]*localOffer
+	remote map[ServiceKey]*remoteEntry
+	watch  map[ServiceKey][]func(RemoteService)
+	// monitors are persistent availability watchers (Monitor): unlike
+	// watch entries they survive firing and also observe service loss.
+	monitors map[ServiceKey][]monitor
+	pending  map[subKey][]func(ok bool)
+	active   map[subKey]bool // client-side subscriptions to keep renewed
 
 	// onSubscribe notifies the skeleton layer of a new/renewed remote
 	// subscriber for (service, eventgroup).
@@ -82,6 +85,12 @@ type remoteEntry struct {
 	expiry *des.Event
 }
 
+// monitor is one persistent availability watcher.
+type monitor struct {
+	up   func(RemoteService)
+	down func()
+}
+
 type subKey struct {
 	key        ServiceKey
 	eventgroup uint16
@@ -101,15 +110,16 @@ func NewAgent(host *simnet.Host, cfg AgentConfig) (*Agent, error) {
 		return nil, err
 	}
 	a := &Agent{
-		k:       host.Net().Kernel(),
-		conn:    NewConn(ep, false),
-		group:   SDGroup,
-		cfg:     cfg,
-		offers:  map[ServiceKey]*localOffer{},
-		remote:  map[ServiceKey]*remoteEntry{},
-		watch:   map[ServiceKey][]func(RemoteService){},
-		pending: map[subKey][]func(ok bool){},
-		active:  map[subKey]bool{},
+		k:        host.Net().Kernel(),
+		conn:     NewConn(ep, false),
+		group:    SDGroup,
+		cfg:      cfg,
+		offers:   map[ServiceKey]*localOffer{},
+		remote:   map[ServiceKey]*remoteEntry{},
+		watch:    map[ServiceKey][]func(RemoteService){},
+		monitors: map[ServiceKey][]monitor{},
+		pending:  map[subKey][]func(ok bool){},
+		active:   map[subKey]bool{},
 	}
 	host.Net().JoinGroup(SDGroup, ep)
 	a.conn.OnMessage(a.handle)
@@ -204,6 +214,44 @@ func (a *Agent) Find(key ServiceKey, cb func(RemoteService)) {
 		Type: FindService, Service: key.Service, Instance: key.Instance,
 		Major: 0xff, Minor: 0xffffffff, TTL: a.ttlSeconds(),
 	}})
+}
+
+// Monitor registers a persistent availability watcher for a service
+// instance: up fires (as a kernel event) on every discovery and
+// re-discovery whose endpoint differs from the previously known one —
+// including the initial one if the service is already cached — and down
+// fires when the cached offer expires (TTL) or is withdrawn
+// (stop-offer). A crashed provider sends no stop-offer, so its loss is
+// observed through TTL expiry; when it restarts and re-offers, up fires
+// again and the client can re-bind deterministically. Monitor also
+// multicasts a find so an already-running provider answers immediately.
+func (a *Agent) Monitor(key ServiceKey, up func(RemoteService), down func()) {
+	a.monitors[key] = append(a.monitors[key], monitor{up: up, down: down})
+	if r, ok := a.remote[key]; ok {
+		svc := r.svc
+		if up != nil {
+			a.k.After(0, func() { up(svc) })
+		}
+		return
+	}
+	a.send(a.group, []Entry{{
+		Type: FindService, Service: key.Service, Instance: key.Instance,
+		Major: 0xff, Minor: 0xffffffff, TTL: a.ttlSeconds(),
+	}})
+}
+
+// lost drops the cached remote entry and notifies monitors. reason is
+// either an expiry or an explicit stop-offer.
+func (a *Agent) lost(key ServiceKey) {
+	if _, ok := a.remote[key]; !ok {
+		return
+	}
+	delete(a.remote, key)
+	for _, m := range a.monitors[key] {
+		if m.down != nil {
+			m.down()
+		}
+	}
 }
 
 // Lookup returns the cached remote service, if discovered.
@@ -311,7 +359,7 @@ func (a *Agent) handleOffer(src Addr, e Entry) {
 			if r.expiry != nil {
 				r.expiry.Cancel()
 			}
-			delete(a.remote, key)
+			a.lost(key)
 		}
 		return
 	}
@@ -328,12 +376,21 @@ func (a *Agent) handleOffer(src Addr, e Entry) {
 	}
 	entry := &remoteEntry{svc: svc}
 	ttl := logical.Duration(e.TTL) * logical.Second
-	entry.expiry = a.k.AfterDaemon(ttl, func() { delete(a.remote, key) })
+	entry.expiry = a.k.AfterDaemon(ttl, func() { a.lost(key) })
 	a.remote[key] = entry
 	if ws := a.watch[key]; len(ws) > 0 {
 		delete(a.watch, key)
 		for _, w := range ws {
 			w(svc)
+		}
+	}
+	// Monitors see transitions only: a fresh discovery, or a re-offer
+	// from a different endpoint (restart); cyclic refreshes are silent.
+	if !existed || r.svc.Endpoint != svc.Endpoint || r.svc.SDAddr != svc.SDAddr {
+		for _, m := range a.monitors[key] {
+			if m.up != nil {
+				m.up(svc)
+			}
 		}
 	}
 }
