@@ -351,6 +351,29 @@ func BenchmarkFaults(b *testing.B) {
 	b.ReportMetric(float64(errs), "observable-errors/op")
 }
 
+// BenchmarkTopologySweep measures E12: one iteration = the full
+// topology sweep — every shape (star, ring, tree, random-regular)
+// compiled by the scenario engine and executed single-kernel and
+// federated — with the per-shape byte-equality determinism gate riding
+// along inside RunTopologySweep.
+func BenchmarkTopologySweep(b *testing.B) {
+	cfg := exp.TopologySweepConfig{
+		Platforms:       8,
+		Rounds:          8,
+		NoiseEvents:     200,
+		PartitionCounts: []int{1, 2, 4},
+	}
+	var cells int
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTopologySweep(1, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(res.Entries)
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
 // BenchmarkDESKernel measures raw simulation-kernel event throughput.
 func BenchmarkDESKernel(b *testing.B) {
 	k := des.NewKernel(1)

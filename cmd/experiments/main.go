@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only figure1|figure5|deterministic|tradeoff|split|latency|overhead|loopback|mesh|faults]
+//	experiments [-quick] [-list] [-only <name>] [-scenario <file.json>]
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
-// shrinks workloads ~20×. All experiments except loopback are
-// deterministic; loopback (E9) uses real UDP sockets and wall-clock
-// time.
+// shrinks workloads ~20×. -list prints the experiment registry and
+// exits. -scenario compiles and runs a declarative JSON scenario spec
+// (see examples/scenarios/) through the scenario engine instead of the
+// built-in registry; it is mutually exclusive with -only. All
+// experiments except loopback are deterministic; loopback (E9) uses
+// real UDP sockets and wall-clock time.
 package main
 
 import (
@@ -23,29 +26,35 @@ import (
 	"repro/internal/apd"
 	"repro/internal/exp"
 	"repro/internal/logical"
+	"repro/internal/scenario"
 )
 
 type experiment struct {
 	name string
+	desc string
 	run  func()
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	only := flag.String("only", "", "run a single experiment")
+	list := flag.Bool("list", false, "print the experiment registry and exit")
+	scenarioFile := flag.String("scenario", "", "compile and run a declarative JSON scenario spec")
 	flag.Parse()
 
 	f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames := 20000, 20, 100000, 20000, 3, 5000
 	meshN, meshRounds, meshNoise := 16, 40, 2000
 	faultFrames := 2000
+	topoCfg := exp.DefaultTopologySweepConfig()
 	if *quick {
 		f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames = 2000, 10, 5000, 2000, 2, 1000
 		meshN, meshRounds, meshNoise = 8, 10, 200
 		faultFrames = 400
+		topoCfg.Platforms, topoCfg.Rounds, topoCfg.NoiseEvents = 8, 6, 100
 	}
 
 	experiments := []experiment{
-		{"figure1", func() {
+		{"figure1", "E1: Figure 1 outcome distribution of non-blocking calls", func() {
 			res, err := exp.RunFigure1(1, exp.DefaultFigure1Config(f1Trials))
 			if err != nil {
 				log.Fatal(err)
@@ -61,7 +70,7 @@ func main() {
 				cfg.Trials, fixed.Probability(3))
 		}},
 
-		{"figure5", func() {
+		{"figure5", "E3: Figure 5 baseline error prevalence across seeds", func() {
 			res, err := exp.RunFigure5(2024, f5Inst, f5Frames)
 			if err != nil {
 				log.Fatal(err)
@@ -72,7 +81,7 @@ func main() {
 			fmt.Println("paper      : min=0.018% mean=5.60% max=22.25% (100k frames)")
 		}},
 
-		{"deterministic", func() {
+		{"deterministic", "E4: DEAR brake assistant, zero errors across physical seeds", func() {
 			results, err := exp.RunDeterminismCheck(1, detSeeds, detFrames)
 			if err != nil {
 				log.Fatal(err)
@@ -85,7 +94,7 @@ func main() {
 			fmt.Println("behaviour identical across physical seeds; zero errors (paper: \"correct and deterministic execution\")")
 		}},
 
-		{"tradeoff", func() {
+		{"tradeoff", "E5: deadline scale vs latency/error trade-off sweep", func() {
 			res, err := exp.RunTradeoff(1, toFrames, []float64{0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0, 1.2})
 			if err != nil {
 				log.Fatal(err)
@@ -94,7 +103,7 @@ func main() {
 			fmt.Println("lower deadline scale: lower latency, sporadic observable errors (Section IV-B trade-off)")
 		}},
 
-		{"split", func() {
+		{"split", "E4 extension: CV+EBA split onto a drifting third platform", func() {
 			cfg := apd.DefaultDeterministicConfig(detFrames)
 			cfg.SplitPlatforms = true
 			cfg.DriftPPB = 30_000
@@ -130,7 +139,7 @@ func main() {
 			fmt.Println("distribution across imperfectly-synchronized platforms is semantically invisible")
 		}},
 
-		{"latency", func() {
+		{"latency", "E8: end-to-end latency profiles, baseline vs DEAR", func() {
 			res, err := exp.RunLatencyComparison(1, toFrames)
 			if err != nil {
 				log.Fatal(err)
@@ -139,7 +148,7 @@ func main() {
 			fmt.Println("DEAR trades average latency for a bounded, error-free profile (Section IV-B)")
 		}},
 
-		{"overhead", func() {
+		{"overhead", "E6: wire-size overhead of the DEAR tag trailer", func() {
 			r := exp.MeasureTagOverhead()
 			fmt.Printf("frame notification: %d bytes untagged, %d bytes tagged (+%d bytes, %.2f%%)\n",
 				r.PlainBytes, r.TaggedBytes, r.TaggedBytes-r.PlainBytes, 100*r.OverheadFraction)
@@ -147,7 +156,7 @@ func main() {
 				r.TaggedBytes-r.PlainBytes)
 		}},
 
-		{"loopback", func() {
+		{"loopback", "E9: tagged round trips over real loopback UDP sockets", func() {
 			n := 500
 			if *quick {
 				n = 50
@@ -160,7 +169,7 @@ func main() {
 			fmt.Println("same runtime and tagged binding as above, real UDP sockets (E9; machine-dependent numbers)")
 		}},
 
-		{"mesh", func() {
+		{"mesh", "E10: federated N-platform mesh, byte-identical to single kernel", func() {
 			cfg := exp.DefaultMeshConfig(meshN)
 			cfg.Rounds = meshRounds
 			cfg.NoiseEvents = meshNoise
@@ -184,7 +193,7 @@ func main() {
 			fmt.Println("conservative synchronization shards the simulation without changing a single byte (E10)")
 		}},
 
-		{"faults", func() {
+		{"faults", "E11: deterministic fault injection & recovery under sharding", func() {
 			meshCfg := exp.DefaultFaultMeshConfig(meshN)
 			res, err := exp.RunFaults(1, faultFrames, meshCfg, 4)
 			if err != nil {
@@ -204,6 +213,38 @@ func main() {
 			}
 			fmt.Println("E11 determinism gate: byte-identical reports across 3 seeds × {1,2,3,4} partitions under the full fault schedule")
 		}},
+
+		{"topo", "E12: topology sweep (star/ring/tree/random-regular × partitions)", func() {
+			res, err := exp.RunTopologySweep(1, topoCfg)
+			if err != nil {
+				log.Fatalf("E12 sweep FAILED: %v", err)
+			}
+			fmt.Print(res.Table())
+			fmt.Printf("every shape byte-identical across partition counts %v at seed %d\n",
+				topoCfg.PartitionCounts, res.Seed)
+			gateSeeds := 3
+			if _, err := exp.RunTopologyDeterminismCheck(1, gateSeeds, topoCfg); err != nil {
+				log.Fatalf("E12 determinism gate FAILED: %v", err)
+			}
+			fmt.Printf("E12 determinism gate: byte-identical federated vs single-kernel reports for every shape × partitions %v across %d seeds\n",
+				topoCfg.PartitionCounts, gateSeeds)
+		}},
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-14s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	if *scenarioFile != "" {
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -scenario and -only are mutually exclusive (a JSON spec replaces the registry)")
+			os.Exit(2)
+		}
+		runScenarioFile(*scenarioFile)
+		return
 	}
 
 	if *only != "" {
@@ -233,5 +274,46 @@ func main() {
 		fmt.Printf("=== %s ===\n", e.name)
 		e.run()
 		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+// runScenarioFile compiles a declarative JSON spec, prints its
+// canonical world description, executes it at the spec's partition
+// count, and — when the spec asks for a federated run — verifies the
+// byte-equality determinism gate against the single-kernel reference.
+func runScenarioFile(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := scenario.ParseSpec(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	desc, err := scenario.Describe(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== scenario %s ===\n%s\n", path, desc)
+	t0 := time.Now()
+	res, err := exp.RunScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	fmt.Printf("(%d partitions, %d events, %d coordination rounds, %v)\n",
+		res.Partitions, res.EventsFired, res.CoordRounds, time.Since(t0).Round(time.Millisecond))
+	if res.Partitions > 1 {
+		single := spec
+		single.Partitions = 1
+		ref, err := exp.RunScenario(single)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ref.Report() != res.Report() {
+			log.Fatalf("determinism gate FAILED: federated report diverged from single-kernel report:\n--- single ---\n%s--- federated ---\n%s",
+				ref.Report(), res.Report())
+		}
+		fmt.Println("determinism gate: federated report byte-identical to single-kernel report")
 	}
 }

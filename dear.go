@@ -6,6 +6,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/logical"
 	"repro/internal/reactor"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/someip"
 )
@@ -380,6 +381,61 @@ func NewFederation(seed uint64, partitions int) *Federation {
 // NewCluster creates a partitioned network over the federation.
 func NewCluster(fed *Federation, cfg NetworkConfig) (*Cluster, error) {
 	return simnet.NewCluster(fed, cfg)
+}
+
+// --- Scenario engine ---
+
+// Scenario is the declarative description of a simulated deployment:
+// platform count, topology shape, partition assignment, link model,
+// fault plan, workload mix and seed. It serializes to/from JSON
+// (durations are nanosecond integers), so deployments can be described
+// in files and run without recompiling.
+type Scenario = scenario.Spec
+
+// ScenarioShape names a topology generator (star, ring, tree,
+// random-regular, full) — all pure functions of the scenario seed.
+type ScenarioShape = scenario.Shape
+
+// ScenarioWorld is a compiled scenario: substrate, hosts, runtimes,
+// workload and canonical per-platform stats.
+type ScenarioWorld = scenario.World
+
+// ScenarioCrashPlan schedules a platform crash and restart inside a
+// compiled scenario.
+type ScenarioCrashPlan = scenario.CrashPlan
+
+// The topology shapes a Scenario can request.
+const (
+	ScenarioFull          = scenario.Full
+	ScenarioRing          = scenario.Ring
+	ScenarioStar          = scenario.Star
+	ScenarioTree          = scenario.Tree
+	ScenarioRandomRegular = scenario.RandomRegular
+)
+
+// BuildScenario compiles a scenario spec into a runnable world
+// (single kernel or federation, chosen by Spec.Partitions). For a
+// fixed spec the world's behaviour is byte-identical for every
+// partition count and GOMAXPROCS value.
+func BuildScenario(spec Scenario) (*ScenarioWorld, error) { return scenario.Build(spec) }
+
+// DescribeScenario renders the canonical, mode-independent description
+// of the world a spec compiles to (shape, link and workload
+// parameters, the full call graph) without building it.
+func DescribeScenario(spec Scenario) (string, error) { return scenario.Describe(spec) }
+
+// ParseScenario decodes a JSON scenario description; unknown fields
+// are rejected.
+func ParseScenario(data []byte) (Scenario, error) { return scenario.ParseSpec(data) }
+
+// MeshScenario returns the E10 preset: a ring mesh of n platforms with
+// the standard workload mix.
+func MeshScenario(n int) Scenario { return scenario.MeshPreset(n) }
+
+// TopologyScenario returns the E12 preset: the standard workload on
+// the given topology shape.
+func TopologyScenario(shape ScenarioShape, n int) Scenario {
+	return scenario.TopologyPreset(shape, n)
 }
 
 // --- Physical substrate ---

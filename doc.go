@@ -109,4 +109,27 @@
 // re-bind. Runtime.WatchService is the client-side counterpart: a
 // persistent up/down watcher that hands out a fresh proxy on every
 // (re)discovery.
+//
+// # Declarative scenarios
+//
+// Instead of hand-assembling kernels, networks, hosts and runtimes,
+// a deployment can be declared as a Scenario — platform count,
+// topology shape (star, ring, tree, random-regular, full; all seeded
+// generators), partition assignment, link model, fault plan, workload
+// mix and seed — and compiled into a runnable world:
+//
+//	spec := dear.TopologyScenario(dear.ScenarioStar, 16)
+//	spec.Seed, spec.Partitions = 7, 4
+//	world, err := dear.BuildScenario(spec)
+//	world.Run()
+//	// world.Stats holds the canonical per-platform report rows.
+//
+// Scenarios serialize to/from JSON (ParseScenario), so a deployment
+// that was never compiled into the binary can run from a file:
+// `go run ./cmd/experiments -scenario examples/scenarios/star.json`.
+// DescribeScenario renders the canonical, mode-independent description
+// of the compiled world — the string the scenario golden tests pin.
+// Experiment E12 sweeps the same workload across every topology shape
+// × partition count and extends the byte-equality determinism gate to
+// each.
 package dear

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ara"
 	"repro/internal/des"
 	"repro/internal/logical"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 )
 
@@ -104,23 +105,24 @@ type Baseline struct {
 // platform 1, the remaining four SWCs on platform 2, connected through a
 // switch (Figure 4).
 func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
-	k := des.NewKernel(seed)
-	instRand := k.Rand("apd.instance")
-	drift1 := int64(instRand.Norm(0, cfg.DriftSigmaPPB))
-	drift2 := int64(instRand.Norm(0, cfg.DriftSigmaPPB))
-
-	n := simnet.NewNetwork(k, simnet.Config{
-		DefaultLatency: &simnet.JitterLatency{
-			Base:    100 * logical.Microsecond,
-			PerByte: 8, // ~1 Gbit/s serialization
-			Sigma:   60 * logical.Microsecond,
-			Rng:     k.Rand("apd.net"),
+	// The substrate — kernel, jitter-latency switch, platforms with
+	// drawn oscillator drifts — is declared, not hand-assembled; the
+	// scenario compiler preserves the historical instance-stream draw
+	// order (drift1, drift2, [phases], drift3) byte-for-byte.
+	drawnClock := scenario.ClockSpec{DrawDrift: true, DriftSigmaPPB: cfg.DriftSigmaPPB}
+	w := scenario.BuildPipeline(seed, scenario.PipelineSpec{
+		InstanceStream: "apd.instance",
+		Link:           pipelineLink(),
+		SwitchDelay:    20 * logical.Microsecond,
+		Faults:         cfg.Faults,
+		Platforms: []scenario.PlatformSpec{
+			{Name: "platform1", Clock: drawnClock},
+			{Name: "platform2", Clock: drawnClock},
 		},
-		SwitchDelay: 20 * logical.Microsecond,
-		Faults:      cfg.Faults,
 	})
-	p1 := n.AddHost("platform1", k.NewLocalClock(des.ClockConfig{DriftPPB: drift1}, nil))
-	p2 := n.AddHost("platform2", k.NewLocalClock(des.ClockConfig{DriftPPB: drift2}, nil))
+	k, n := w.Kernel, w.Net
+	instRand := w.InstanceRand
+	p2 := w.Hosts[1]
 
 	b := &Baseline{Kernel: k, Net: n, cfg: cfg}
 	b.horizon = logical.Time(cfg.SettleTime) +
@@ -138,11 +140,11 @@ func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
 	// The optional third platform hosts CV and EBA. Its drift is drawn
 	// only when splitting, after the phase draws, so the stock two-
 	// platform instances — and with them the Figure 5 goldens — consume
-	// exactly the same random stream as before this option existed.
+	// exactly the same random stream as before this option existed
+	// (AddPlatform draws from the instance stream at call time).
 	p3 := p2
 	if cfg.SplitPlatforms {
-		drift3 := int64(instRand.Norm(0, cfg.DriftSigmaPPB))
-		p3 = n.AddHost("platform3", k.NewLocalClock(des.ClockConfig{DriftPPB: drift3}, nil))
+		p3 = w.AddPlatform(scenario.PlatformSpec{Name: "platform3", Clock: drawnClock})
 	}
 
 	// --- Video Adapter (platform 2): receives raw camera frames and
@@ -296,25 +298,42 @@ func NewBaseline(seed uint64, cfg BaselineConfig) (*Baseline, error) {
 
 	// --- Video Provider (platform 1): the camera, sending one frame
 	// roughly every 50ms over a proprietary (raw datagram) protocol.
-	camOut := p1.MustBind(0)
-	camRand := k.Rand("apd.camera")
 	scene := &Scene{}
-	clock1 := p1.Clock()
-	k.SpawnAt(logical.Time(cfg.SettleTime), "video-provider", func(p *des.Process) {
-		start := clock1.Now()
-		for i := 0; i < cfg.Frames; i++ {
-			next := start.Add(logical.Duration(i)*cfg.Period +
-				logical.Duration(camRand.Norm(0, float64(cfg.CameraJitterSigma))))
-			if g := clock1.GlobalAt(next); g > p.Now() {
-				p.WaitUntil(g)
-			}
-			frame := scene.Generate(p.Now())
+	w.SpawnFrameSource(cameraSource(p2, cfg.Frames, cfg.Period, cfg.CameraJitterSigma, cfg.SettleTime),
+		func(now logical.Time) []byte {
+			frame := scene.Generate(now)
 			b.Counters.FramesSent++
-			camOut.Send(simnet.Addr{Host: p2.ID(), Port: VideoPort}, MarshalFrame(frame))
-		}
-	})
+			return MarshalFrame(frame)
+		})
 
 	return b, nil
+}
+
+// pipelineLink is the shared network model of both brake-assistant
+// variants: Ethernet-scale base latency, ~1 Gbit/s serialization,
+// submillisecond jitter.
+func pipelineLink() scenario.JitterLink {
+	return scenario.JitterLink{
+		Base:    100 * logical.Microsecond,
+		PerByte: 8,
+		Sigma:   60 * logical.Microsecond,
+		Stream:  "apd.net",
+	}
+}
+
+// cameraSource is the shared camera declaration of both variants: the
+// Video Provider on platform 1 feeding the Video Adapter on platform 2.
+func cameraSource(p2 *simnet.Host, frames int, period, jitterSigma, settle logical.Duration) scenario.FrameSource {
+	return scenario.FrameSource{
+		Platform:    0,
+		Dst:         simnet.Addr{Host: p2.ID(), Port: VideoPort},
+		Count:       frames,
+		Period:      period,
+		JitterSigma: jitterSigma,
+		Settle:      settle,
+		Stream:      "apd.camera",
+		Name:        "video-provider",
+	}
 }
 
 func gaussExec(r *des.Rand, mean, sigma logical.Duration) logical.Duration {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/logical"
 	"repro/internal/reactor"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 )
 
@@ -113,29 +114,35 @@ type Deterministic struct {
 // platform 1; Video Adapter, Preprocessing, Computer Vision and EBA are
 // reactor-based SWCs on platform 2 communicating via tagged messages.
 func NewDeterministic(seed uint64, cfg DeterministicConfig) (*Deterministic, error) {
-	k := des.NewKernel(seed)
-	n := simnet.NewNetwork(k, simnet.Config{
-		DefaultLatency: &simnet.JitterLatency{
-			Base:    100 * logical.Microsecond,
-			PerByte: 8,
-			Sigma:   60 * logical.Microsecond,
-			Rng:     k.Rand("apd.net"),
-		},
+	// Same declarative substrate as the baseline (identical link model
+	// and switch delay, so the two variants are compared under the same
+	// physical conditions); the DEAR deployment draws no per-instance
+	// randomness — drifts are fixed, clocks resynchronize periodically.
+	platforms := []scenario.PlatformSpec{{Name: "platform1"}}
+	if cfg.SplitPlatforms {
+		platforms = append(platforms,
+			scenario.PlatformSpec{Name: "platform2", Clock: scenario.ClockSpec{
+				DriftPPB: cfg.DriftPPB, SyncBound: cfg.SyncBound,
+				SyncPeriod: 500 * logical.Millisecond, SyncStream: "sync.p2",
+			}},
+			scenario.PlatformSpec{Name: "platform3", Clock: scenario.ClockSpec{
+				DriftPPB: -cfg.DriftPPB, SyncBound: cfg.SyncBound,
+				SyncPeriod: 500 * logical.Millisecond, SyncStream: "sync.p3",
+			}})
+	} else {
+		platforms = append(platforms, scenario.PlatformSpec{Name: "platform2"})
+	}
+	w := scenario.BuildPipeline(seed, scenario.PipelineSpec{
+		Link:        pipelineLink(),
 		SwitchDelay: 20 * logical.Microsecond,
 		Faults:      cfg.Faults,
+		Platforms:   platforms,
 	})
-	p1 := n.AddHost("platform1", k.NewLocalClock(des.ClockConfig{}, nil))
-	var p2, p3 *simnet.Host
+	k, n := w.Kernel, w.Net
+	p2 := w.Hosts[1]
+	p3 := p2
 	if cfg.SplitPlatforms {
-		p2 = n.AddHost("platform2", k.NewLocalClock(des.ClockConfig{
-			DriftPPB: cfg.DriftPPB, SyncBound: cfg.SyncBound, SyncPeriod: 500 * logical.Millisecond,
-		}, k.Rand("sync.p2")))
-		p3 = n.AddHost("platform3", k.NewLocalClock(des.ClockConfig{
-			DriftPPB: -cfg.DriftPPB, SyncBound: cfg.SyncBound, SyncPeriod: 500 * logical.Millisecond,
-		}, k.Rand("sync.p3")))
-	} else {
-		p2 = n.AddHost("platform2", k.NewLocalClock(des.ClockConfig{}, nil))
-		p3 = p2
+		p3 = w.Hosts[2]
 	}
 
 	d := &Deterministic{Kernel: k, Net: n, cfg: cfg}
@@ -334,23 +341,13 @@ func NewDeterministic(seed uint64, cfg DeterministicConfig) (*Deterministic, err
 
 	// --- Video Provider (platform 1), identical camera model to the
 	// baseline.
-	camOut := p1.MustBind(0)
-	camRand := k.Rand("apd.camera")
 	scene := &Scene{}
-	clock1 := p1.Clock()
-	k.SpawnAt(logical.Time(cfg.SettleTime), "video-provider", func(p *des.Process) {
-		start := clock1.Now()
-		for i := 0; i < cfg.Frames; i++ {
-			next := start.Add(logical.Duration(i)*cfg.Period +
-				logical.Duration(camRand.Norm(0, float64(cfg.CameraJitterSigma))))
-			if g := clock1.GlobalAt(next); g > p.Now() {
-				p.WaitUntil(g)
-			}
-			frame := scene.Generate(p.Now())
+	w.SpawnFrameSource(cameraSource(p2, cfg.Frames, cfg.Period, cfg.CameraJitterSigma, cfg.SettleTime),
+		func(now logical.Time) []byte {
+			frame := scene.Generate(now)
 			d.Counters.FramesSent++
-			camOut.Send(simnet.Addr{Host: p2.ID(), Port: VideoPort}, MarshalFrame(frame))
-		}
-	})
+			return MarshalFrame(frame)
+		})
 
 	return d, nil
 }

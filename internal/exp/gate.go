@@ -1,0 +1,50 @@
+package exp
+
+import "fmt"
+
+// determinismSweep is the generic engine behind the E10, E11 and E12
+// byte-equality gates: the seed × partition-count sweep every gate
+// shares. For each of `seeds` consecutive seeds it obtains the
+// single-kernel reference report, re-runs at every requested partition
+// count and requires byte-identical reports; across seeds it requires
+// the reports to *differ* (a gate whose reports never change with the
+// seed is vacuous). run returns the structured result alongside its
+// canonical report; the per-seed single-kernel references are returned
+// for structured assertions.
+func determinismSweep(seedBase uint64, seeds int, partitionCounts []int,
+	run func(seed uint64, partitions int) (*MeshResult, string, error)) ([]*MeshResult, []string, error) {
+	var refs []*MeshResult
+	var reports []string
+	for s := 0; s < seeds; s++ {
+		seed := seedBase + uint64(s)
+		ref, refReport, err := run(seed, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range partitionCounts {
+			if p <= 1 {
+				// The single-kernel run already is the reference;
+				// re-running it would compare a deterministic run to
+				// itself (vacuous) at full simulation cost.
+				continue
+			}
+			_, r, err := run(seed, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			if r != refReport {
+				return nil, nil, fmt.Errorf(
+					"exp: diverged at seed %d, %d partitions:\n--- single kernel ---\n%s--- federated ---\n%s",
+					seed, p, refReport, r)
+			}
+		}
+		refs = append(refs, ref)
+		reports = append(reports, refReport)
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] == reports[0] {
+			return refs, reports, fmt.Errorf("exp: reports identical across different seeds — gate is vacuous")
+		}
+	}
+	return refs, reports, nil
+}

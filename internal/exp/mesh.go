@@ -1,16 +1,12 @@
 package exp
 
 import (
-	"encoding/binary"
 	"fmt"
 	"strings"
 
-	"repro/internal/ara"
-	"repro/internal/des"
 	"repro/internal/logical"
 	"repro/internal/metrics"
-	"repro/internal/simnet"
-	"repro/internal/someip"
+	"repro/internal/scenario"
 )
 
 // --- Experiment E10: federated N-platform client/server mesh ---
@@ -24,178 +20,72 @@ import (
 // gate requires the two modes to produce byte-identical reports for
 // every seed and partition count — the defining property of the repo
 // ("same seed, same bytes") survives sharding.
+//
+// Since the scenario-engine refactor the world-building lives in
+// internal/scenario: E10 is the Ring preset of the declarative Spec,
+// and this file is measurement code plus the byte-equality gates.
 
-// MeshConfig parameterizes the E10 scenario. The generator derives a
-// full N-platform topology from it: every platform runs one ara runtime
-// offering a "compute" service and one client that round-robins blocking
-// calls over its K ring neighbors, plus a local background load
-// generator (dense intra-platform traffic that gives each partition
-// real work between cross-partition barriers).
-type MeshConfig struct {
-	// Platforms is N, the number of simulated ECUs.
-	Platforms int
-	// Neighbors is K, the number of ring neighbors each client calls
-	// (capped at N-1).
-	Neighbors int
-	// Rounds is the number of call rounds per client; each round issues
-	// one blocking call per neighbor.
-	Rounds int
-	// Gap is the base think time between rounds (each client adds a
-	// deterministic per-client skew so request arrivals never collide).
-	Gap logical.Duration
-	// WorkBase/WorkSpread model the server's execution time: base plus a
-	// payload-hash-dependent spread, so timing is data-dependent but
-	// identical in both execution modes.
-	WorkBase   logical.Duration
-	WorkSpread logical.Duration
-	// NoiseEvents/NoiseInterval drive the per-platform local load
-	// generator (loopback datagrams on the platform's own host).
-	NoiseEvents   int
-	NoiseInterval logical.Duration
-	// LinkLatency is the fixed platform-to-platform latency. It must be
-	// RNG-free (fixed): its minimum is the federation lookahead.
-	LinkLatency logical.Duration
-	// SwitchDelay is the store-and-forward delay added to inter-platform
-	// packets.
-	SwitchDelay logical.Duration
+// MeshConfig parameterizes the E10 scenario — it *is* the declarative
+// scenario spec (E10 is the scenario engine's Ring preset). Degree
+// plays the old Neighbors role: the number of ring successors each
+// client calls.
+type MeshConfig = scenario.Spec
 
-	// Faults (optional, E11) installs a deterministic fault schedule:
-	// counter-based per-link loss, partitions and jitter bursts. Because
-	// fault-plan jitter only adds delay, the federation lookahead remains
-	// LinkLatency. Leave nil for the fault-free E10 scenario.
-	Faults *simnet.FaultPlan
-	// CallTimeout (optional) bounds every client call; expiry is counted
-	// as an observable error in the report. Required when Faults can drop
-	// request or response packets — without it a lost call would park its
-	// client forever. Each client adds a small deterministic skew so that
-	// timeout events never tie across platforms.
-	CallTimeout logical.Duration
-	// Crash (optional, E11) schedules a platform crash and restart.
-	Crash *CrashPlan
-}
-
-// CrashPlan schedules a host failure inside a mesh run: the platform
-// crashes at At (endpoints close, in-flight packets to it drop, its
-// client exits when it observes the outage), and — if RestartAt > At —
-// comes back with a rebuilt runtime whose skeleton re-offers, after
-// which a reborn client issues RebornRounds more call rounds. All times
-// are simulated, so the schedule is identical in every execution mode.
-type CrashPlan struct {
-	// Platform indexes the platform to crash.
-	Platform int
-	// At is the crash instant.
-	At logical.Time
-	// RestartAt is the restart instant; zero (or ≤ At) means the
-	// platform stays down.
-	RestartAt logical.Time
-	// RebornRounds is the number of call rounds the restarted platform's
-	// client runs.
-	RebornRounds int
-}
+// CrashPlan schedules a platform crash and restart inside a mesh run;
+// see scenario.CrashPlan.
+type CrashPlan = scenario.CrashPlan
 
 // DefaultMeshConfig returns the E10 scenario for n platforms.
-func DefaultMeshConfig(n int) MeshConfig {
-	k := 3
-	if k > n-1 {
-		k = n - 1
-	}
-	return MeshConfig{
-		Platforms:     n,
-		Neighbors:     k,
-		Rounds:        20,
-		Gap:           800 * logical.Microsecond,
-		WorkBase:      20 * logical.Microsecond,
-		WorkSpread:    120 * logical.Microsecond,
-		NoiseEvents:   400,
-		NoiseInterval: 50 * logical.Microsecond,
-		LinkLatency:   350 * logical.Microsecond,
-		SwitchDelay:   20 * logical.Microsecond,
-	}
-}
+func DefaultMeshConfig(n int) MeshConfig { return scenario.MeshPreset(n) }
 
-func (c *MeshConfig) normalize() error {
-	if c.Platforms < 2 {
-		return fmt.Errorf("exp: mesh needs at least 2 platforms")
-	}
-	if c.Neighbors < 1 {
-		c.Neighbors = 1
-	}
-	if c.Neighbors > c.Platforms-1 {
-		c.Neighbors = c.Platforms - 1
-	}
-	if c.LinkLatency <= 0 {
-		return fmt.Errorf("exp: mesh needs positive link latency (it is the federation lookahead)")
-	}
-	if c.CallTimeout <= 0 {
-		// Without a timeout a lost request or response would park its
-		// client process forever and the run would end with silently
-		// missing calls — enforce the documented precondition.
-		if c.Crash != nil {
-			return fmt.Errorf("exp: a crash plan requires CallTimeout > 0 (calls into the outage must fail observably)")
-		}
-		if f := c.Faults; f != nil && (f.DropRate > 0 || len(f.Loss) > 0 || len(f.Partitions) > 0) {
-			return fmt.Errorf("exp: a fault plan that can drop packets requires CallTimeout > 0")
-		}
-	}
-	return nil
-}
+// MeshHostID returns the simnet host ID platform i receives during
+// world construction, in every execution mode. Fault plans that target
+// specific mesh links are built from it.
+func MeshHostID(i int) uint16 { return scenario.HostID(i) }
 
-// MeshPlatformRow is the per-platform slice of the E10/E11 report.
-type MeshPlatformRow struct {
-	Calls  int
-	Served int
-	// Errors counts observable call failures (timeouts, send errors);
-	// zero in the fault-free E10 scenario. Every error is also folded
-	// into RespHash, so two runs agree on *which* calls failed, not just
-	// how many.
-	Errors    int
-	RespHash  uint64
-	LatSumNs  int64
-	LatMaxNs  int64
-	NoiseHash uint64
-}
+// MeshPlatformRow is the per-platform slice of the E10/E11/E12 report.
+type MeshPlatformRow = scenario.PlatformStats
 
-// LatMeanNs returns the integer mean round-trip latency (exact — no
-// floating point, so reports are byte-stable).
-func (r *MeshPlatformRow) LatMeanNs() int64 {
-	if r.Calls == 0 {
-		return 0
-	}
-	return r.LatSumNs / int64(r.Calls)
-}
-
-// MeshResult is the outcome of one E10 run.
+// MeshResult is the outcome of one scenario run (E10, E11 mesh, E12,
+// or a JSON spec run).
 type MeshResult struct {
-	Seed       uint64
-	Config     MeshConfig
+	// Seed is the world seed the run used.
+	Seed uint64
+	// Config is the normalized spec the world was compiled from.
+	Config MeshConfig
+	// Partitions is the executed partition count (mode, not behaviour).
 	Partitions int
-	Rows       []MeshPlatformRow
+	// Rows are the canonical per-platform stats.
+	Rows []MeshPlatformRow
 
 	// Mode-dependent diagnostics (NOT part of the canonical report):
 	// coordination rounds are zero on a single kernel, and delivered
 	// counts include SD multicast whose fan-out is per-partition.
 	CoordRounds uint64
+	// EventsFired counts kernel events across all partitions.
 	EventsFired uint64
-	Delivered   uint64
-	Dropped     uint64
+	// Delivered counts delivered datagrams (mode-dependent).
+	Delivered uint64
+	// Dropped counts dropped datagrams (mode-dependent).
+	Dropped uint64
 }
 
 // Report renders the canonical, mode-independent report: two runs are
 // behaviourally identical iff their Reports are byte-identical. It
-// deliberately excludes partition count and transport-internal counters.
+// deliberately excludes partition count and transport-internal
+// counters. Unnamed specs (the E10/E11 presets) keep the historical
+// "E10 mesh" header; named specs — E12 presets and JSON scenarios —
+// identify themselves and their topology shape.
 func (r *MeshResult) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "E10 mesh seed=%d platforms=%d neighbors=%d rounds=%d\n",
-		r.Seed, r.Config.Platforms, r.Config.Neighbors, r.Config.Rounds)
-	totalCalls, totalServed, totalErrors := 0, 0, 0
-	for i, row := range r.Rows {
-		fmt.Fprintf(&b, "plat%02d calls=%d served=%d errs=%d resp=%016x latMeanNs=%d latMaxNs=%d noise=%016x\n",
-			i, row.Calls, row.Served, row.Errors, row.RespHash, row.LatMeanNs(), row.LatMaxNs, row.NoiseHash)
-		totalCalls += row.Calls
-		totalServed += row.Served
-		totalErrors += row.Errors
+	if r.Config.Name == "" {
+		fmt.Fprintf(&b, "E10 mesh seed=%d platforms=%d neighbors=%d rounds=%d\n",
+			r.Seed, r.Config.Platforms, r.Config.Degree, r.Config.Rounds)
+	} else {
+		fmt.Fprintf(&b, "scenario %s topology=%s seed=%d platforms=%d degree=%d rounds=%d\n",
+			r.Config.Name, r.Config.Topology, r.Seed, r.Config.Platforms, r.Config.Degree, r.Config.Rounds)
 	}
-	fmt.Fprintf(&b, "total calls=%d served=%d errs=%d\n", totalCalls, totalServed, totalErrors)
+	b.WriteString(scenario.StatsReport(r.Rows))
 	return b.String()
 }
 
@@ -211,332 +101,37 @@ func (r *MeshResult) Table() *metrics.Table {
 	return t
 }
 
-// meshSubstrate abstracts over the two execution modes: one kernel with
-// one Network, or a Federation with a partitioned Cluster.
-type meshSubstrate struct {
-	fed     *des.Federation
-	cluster *simnet.Cluster
-	single  *des.Kernel
-	net     *simnet.Network
-	hosts   []*simnet.Host
-}
-
-func newMeshSubstrate(seed uint64, cfg MeshConfig, partitions int) (*meshSubstrate, error) {
-	netCfg := simnet.Config{
-		DefaultLatency: simnet.FixedLatency(cfg.LinkLatency),
-		SwitchDelay:    cfg.SwitchDelay,
-		Faults:         cfg.Faults,
-	}
-	s := &meshSubstrate{}
-	if partitions <= 1 {
-		s.single = des.NewKernel(seed)
-		s.net = simnet.NewNetwork(s.single, netCfg)
-		for i := 0; i < cfg.Platforms; i++ {
-			s.hosts = append(s.hosts, s.net.AddHost(meshHostName(i), nil))
-		}
-		return s, nil
-	}
-	if partitions > cfg.Platforms {
-		partitions = cfg.Platforms
-	}
-	s.fed = des.NewFederation(seed, partitions)
-	cluster, err := simnet.NewCluster(s.fed, netCfg)
+// RunScenario compiles and executes one declarative scenario spec
+// (using the spec's own Seed and Partitions) and collects the
+// canonical result. Every scenario-family experiment — E10, E11's
+// mesh, E12 and JSON spec runs — funnels through it.
+func RunScenario(spec scenario.Spec) (*MeshResult, error) {
+	w, err := scenario.Build(spec)
 	if err != nil {
 		return nil, err
 	}
-	s.cluster = cluster
-	for i := 0; i < cfg.Platforms; i++ {
-		s.hosts = append(s.hosts, cluster.AddHost(i%partitions, meshHostName(i), nil))
-	}
-	return s, nil
-}
-
-func meshHostName(i int) string { return fmt.Sprintf("plat%02d", i) }
-
-// MeshHostID returns the simnet host ID platform i receives during mesh
-// construction, in every execution mode: hosts are added in platform
-// order and both Network and Cluster allocate IDs sequentially from 1.
-// Fault plans that target specific mesh links are built from it.
-func MeshHostID(i int) uint16 { return uint16(i) + 1 }
-
-func (s *meshSubstrate) run() {
-	if s.fed != nil {
-		s.fed.RunAll()
-		s.fed.Shutdown()
-		return
-	}
-	s.single.RunAll()
-	s.single.Shutdown()
-}
-
-func (s *meshSubstrate) stats(r *MeshResult) {
-	if s.fed != nil {
-		r.Partitions = s.fed.Partitions()
-		r.CoordRounds = s.fed.Rounds()
-		r.EventsFired = s.fed.EventsFired()
-		r.Delivered = s.cluster.Delivered()
-		r.Dropped = s.cluster.Dropped()
-		return
-	}
-	r.Partitions = 1
-	r.EventsFired = s.single.EventsFired()
-	r.Delivered = s.net.Delivered()
-	r.Dropped = s.net.Dropped()
-}
-
-const (
-	meshServiceBase = someip.ServiceID(0x2100)
-	meshPort        = 40000
-	meshNoisePort   = 41000
-)
-
-func meshIface(i int) *ara.ServiceInterface {
-	return &ara.ServiceInterface{
-		Name:  fmt.Sprintf("Mesh%02d", i),
-		ID:    meshServiceBase + someip.ServiceID(i),
-		Major: 1,
-		Methods: []ara.MethodSpec{
-			{ID: 1, Name: "compute"},
-		},
-	}
-}
-
-// buildMeshServer creates the platform's runtime, compute skeleton and
-// local-noise sink. It is used for initial construction and again by the
-// crash plan's restart path (with a distinct runtime name, so RNG stream
-// labels never collide between the two incarnations). Served counts and
-// the noise hash continue across a restart: the rows carry the
-// platform's whole history.
-func buildMeshServer(cfg MeshConfig, host *simnet.Host, rows []MeshPlatformRow, i int, name string) (*ara.Runtime, error) {
-	zeroJitter := func(*des.Rand) logical.Duration { return 0 }
-	rt, err := ara.NewRuntime(host, ara.Config{
-		Name: name,
-		Port: meshPort,
-		Exec: ara.ExecConfig{Workers: 2, Serialized: true, DispatchJitter: zeroJitter},
-	})
-	if err != nil {
-		return nil, err
-	}
-	sk, err := rt.NewSkeleton(meshIface(i), 1)
-	if err != nil {
-		return nil, err
-	}
-	if err := sk.Handle("compute", func(c *ara.Ctx, args []byte) ([]byte, error) {
-		rows[i].Served++
-		h := fnvOffset
-		for _, by := range args {
-			h = fnvMix(h, uint64(by))
-		}
-		h = fnvMix(h, uint64(i))
-		h = fnvMix(h, uint64(rows[i].Served))
-		if cfg.WorkSpread > 0 {
-			c.Exec(cfg.WorkBase + logical.Duration(h%uint64(cfg.WorkSpread)))
-		} else if cfg.WorkBase > 0 {
-			c.Exec(cfg.WorkBase)
-		}
-		var out [8]byte
-		binary.BigEndian.PutUint64(out[:], h)
-		return out[:], nil
-	}); err != nil {
-		return nil, err
-	}
-	k := rt.Kernel()
-	if k.Now() == 0 {
-		k.At(0, func() { sk.Offer() })
-	} else {
-		sk.Offer()
-	}
-
-	// Local noise sink: dense intra-platform load, hashed into the
-	// report so both modes must schedule it identically.
-	sink := host.MustBind(meshNoisePort)
-	if rows[i].NoiseHash == 0 {
-		rows[i].NoiseHash = fnvOffset
-	}
-	sink.OnReceive(func(dg simnet.Datagram) {
-		h := rows[i].NoiseHash
-		h = fnvMix(h, uint64(dg.SentAt))
-		h = fnvMix(h, uint64(k.Now()))
-		h = fnvMix(h, uint64(binary.BigEndian.Uint32(dg.Payload)))
-		rows[i].NoiseHash = h
-	})
-	return rt, nil
-}
-
-// spawnMeshClient starts platform i's client process: rounds call rounds
-// over its ring neighbors, folding every response — and every observable
-// failure — into the platform's row. If the platform crashes, the client
-// exits at the first call it observes the outage on (a dead process
-// issues nothing); the crash plan's reborn client picks up after the
-// restart. marker distinguishes incarnations in the hash.
-func spawnMeshClient(cfg MeshConfig, sub *meshSubstrate, rt *ara.Runtime, rows []MeshPlatformRow, i, rounds int, marker uint64) {
-	n := cfg.Platforms
-	host := sub.hosts[i]
-
-	// Static peer configuration (the federation has no cross-partition
-	// service discovery, mirroring the UDP deployment path).
-	proxies := make([]*ara.Proxy, 0, cfg.Neighbors)
-	targets := make([]int, 0, cfg.Neighbors)
-	for d := 1; d <= cfg.Neighbors; d++ {
-		j := (i + d) % n
-		proxies = append(proxies, rt.StaticProxy(meshIface(j), 1,
-			simnet.Addr{Host: sub.hosts[j].ID(), Port: meshPort}))
-		targets = append(targets, j)
-	}
-
-	// Deterministic per-client skew keeps request arrivals at any
-	// server from colliding at identical timestamps, where single- and
-	// multi-kernel tie-breaking could legitimately differ. The timeout
-	// gets the same treatment so expiry events never tie across
-	// platforms either.
-	phase := logical.Duration(i)*977*logical.Microsecond + logical.Duration(i)*13
-	gap := cfg.Gap + logical.Duration(i)*1013
-	timeout := cfg.CallTimeout
-	if timeout > 0 {
-		timeout += logical.Duration(i) * 131
-	}
-
-	if rows[i].RespHash == 0 {
-		rows[i].RespHash = fnvOffset
-	}
-	rt.Spawn("client", func(c *ara.Ctx) {
-		c.Exec(phase)
-		var req [12]byte
-		for round := 0; round < rounds; round++ {
-			if host.Down() {
-				// The platform died under us: record the exit and stop —
-				// a crashed process issues no further calls.
-				rows[i].RespHash = fnvMix(rows[i].RespHash, 0xc0a5)
-				return
-			}
-			for t, px := range proxies {
-				binary.BigEndian.PutUint16(req[0:], uint16(i))
-				binary.BigEndian.PutUint16(req[2:], uint16(targets[t]))
-				binary.BigEndian.PutUint32(req[4:], uint32(round))
-				binary.BigEndian.PutUint32(req[8:], uint32(t))
-				t0 := c.Now()
-				fut := px.Call("compute", req[:])
-				var resp []byte
-				var err error
-				if timeout > 0 {
-					resp, err = fut.GetTimeout(c.Process(), timeout)
-				} else {
-					resp, err = fut.Get(c.Process())
-				}
-				if err != nil {
-					// Observable, never silent: fold the failure — and
-					// which call it was — into the report.
-					rows[i].Errors++
-					h := rows[i].RespHash
-					h = fnvMix(h, 0xdead)
-					h = fnvMix(h, marker)
-					h = fnvMix(h, uint64(targets[t]))
-					h = fnvMix(h, uint64(round))
-					rows[i].RespHash = h
-					continue
-				}
-				rtt := int64(c.Now() - t0)
-				rows[i].Calls++
-				h := rows[i].RespHash
-				h = fnvMix(h, marker)
-				h = fnvMix(h, uint64(targets[t]))
-				h = fnvMix(h, binary.BigEndian.Uint64(resp))
-				h = fnvMix(h, uint64(rtt))
-				rows[i].RespHash = h
-				rows[i].LatSumNs += rtt
-				if rtt > rows[i].LatMaxNs {
-					rows[i].LatMaxNs = rtt
-				}
-			}
-			c.Exec(gap)
-		}
-	})
+	w.Run()
+	return &MeshResult{
+		Seed:        w.Spec.Seed,
+		Config:      w.Spec,
+		Partitions:  w.Partitions(),
+		Rows:        w.Stats,
+		CoordRounds: w.CoordRounds(),
+		EventsFired: w.EventsFired(),
+		Delivered:   w.Delivered(),
+		Dropped:     w.Dropped(),
+	}, nil
 }
 
 // RunMesh executes E10 (and, with MeshConfig.Faults/Crash set, the E11
 // fault scenario) once. partitions <= 1 selects the classic
-// single-kernel substrate; larger values shard the platforms round-robin
-// over that many federated kernels. For a fixed (seed, cfg) the Report
-// is identical for every partition count.
+// single-kernel substrate; larger values shard the platforms
+// round-robin over that many federated kernels. For a fixed (seed,
+// cfg) the Report is identical for every partition count.
 func RunMesh(seed uint64, cfg MeshConfig, partitions int) (*MeshResult, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	if cfg.Crash != nil && (cfg.Crash.Platform < 0 || cfg.Crash.Platform >= cfg.Platforms) {
-		return nil, fmt.Errorf("exp: crash platform %d out of range", cfg.Crash.Platform)
-	}
-	sub, err := newMeshSubstrate(seed, cfg, partitions)
-	if err != nil {
-		return nil, err
-	}
-	n := cfg.Platforms
-	res := &MeshResult{Seed: seed, Config: cfg, Rows: make([]MeshPlatformRow, n)}
-	rows := res.Rows
-
-	runtimes := make([]*ara.Runtime, n)
-
-	// Pass 1: servers. Every platform offers its compute service and
-	// binds the local-noise sink. Scheduling order within each kernel is
-	// part of the determinism contract, so construction order is fixed:
-	// all servers before all clients.
-	for i := 0; i < n; i++ {
-		rt, err := buildMeshServer(cfg, sub.hosts[i], rows, i, fmt.Sprintf("mesh%02d", i))
-		if err != nil {
-			return nil, err
-		}
-		runtimes[i] = rt
-	}
-
-	// Pass 2: clients and noise generators.
-	for i := 0; i < n; i++ {
-		i := i
-		host := sub.hosts[i]
-		spawnMeshClient(cfg, sub, runtimes[i], rows, i, cfg.Rounds, 0)
-
-		// Local load generator: loopback datagrams on this platform only,
-		// so its cost parallelizes across partitions without changing any
-		// cross-platform interaction. If the platform crashes, its source
-		// endpoint closes and the remaining sends are suppressed.
-		if cfg.NoiseEvents > 0 {
-			src := host.MustBind(meshNoisePort + 1)
-			sinkAddr := simnet.Addr{Host: host.ID(), Port: meshNoisePort}
-			k := runtimes[i].Kernel()
-			k.Spawn(fmt.Sprintf("noise%02d", i), func(p *des.Process) {
-				var buf [4]byte
-				for m := 0; m < cfg.NoiseEvents; m++ {
-					binary.BigEndian.PutUint32(buf[:], uint32(m))
-					src.Send(sinkAddr, buf[:])
-					p.Sleep(cfg.NoiseInterval)
-				}
-			})
-		}
-	}
-
-	// Pass 3: the crash plan. The schedule is installed up front as
-	// ordinary kernel events, so it is ordered deterministically against
-	// all traffic in every execution mode.
-	if cp := cfg.Crash; cp != nil {
-		host := sub.hosts[cp.Platform]
-		host.Crash(cp.At)
-		if cp.RestartAt > cp.At {
-			host.Restart(cp.RestartAt, func() {
-				// Rebuild the platform's stack from scratch, as a rebooted
-				// AP node would: fresh runtime (distinct name — stream
-				// labels must not collide with the dead incarnation),
-				// skeleton re-offered, reborn client.
-				rt, err := buildMeshServer(cfg, host, rows, cp.Platform,
-					fmt.Sprintf("mesh%02dr", cp.Platform))
-				if err != nil {
-					panic(err)
-				}
-				spawnMeshClient(cfg, sub, rt, rows, cp.Platform, cp.RebornRounds, 0x7eb0)
-			})
-		}
-	}
-
-	sub.run()
-	sub.stats(res)
-	return res, nil
+	cfg.Seed = seed
+	cfg.Partitions = partitions
+	return RunScenario(cfg)
 }
 
 // RunMeshDeterminismCheck applies E4's determinism-check methodology to
@@ -550,37 +145,17 @@ func RunMeshDeterminismCheck(seedBase uint64, seeds int, cfg MeshConfig, partiti
 	return reports, err
 }
 
-// runMeshDeterminism is the shared engine behind the E10 and E11
-// gates: it returns the per-seed single-kernel reference results (for
-// structured assertions) alongside their canonical reports.
+// runMeshDeterminism is the E10/E11 instantiation of the generic
+// determinism sweep, returning the per-seed single-kernel reference
+// results (for structured assertions) alongside their canonical
+// reports.
 func runMeshDeterminism(seedBase uint64, seeds int, cfg MeshConfig, partitionCounts []int) ([]*MeshResult, []string, error) {
-	var refs []*MeshResult
-	var reports []string
-	for s := 0; s < seeds; s++ {
-		seed := seedBase + uint64(s)
-		ref, err := RunMesh(seed, cfg, 1)
-		if err != nil {
-			return nil, nil, err
-		}
-		refReport := ref.Report()
-		for _, p := range partitionCounts {
-			got, err := RunMesh(seed, cfg, p)
+	return determinismSweep(seedBase, seeds, partitionCounts,
+		func(seed uint64, partitions int) (*MeshResult, string, error) {
+			res, err := RunMesh(seed, cfg, partitions)
 			if err != nil {
-				return nil, nil, err
+				return nil, "", err
 			}
-			if r := got.Report(); r != refReport {
-				return nil, nil, fmt.Errorf(
-					"exp: mesh diverged at seed %d, %d partitions:\n--- single kernel ---\n%s--- federated ---\n%s",
-					seed, p, refReport, r)
-			}
-		}
-		refs = append(refs, ref)
-		reports = append(reports, refReport)
-	}
-	for i := 1; i < len(reports); i++ {
-		if reports[i] == reports[0] {
-			return refs, reports, fmt.Errorf("exp: mesh reports identical across different seeds — gate is vacuous")
-		}
-	}
-	return refs, reports, nil
+			return res, res.Report(), nil
+		})
 }

@@ -70,12 +70,12 @@ func TestMeshDeterministicAcrossGOMAXPROCS(t *testing.T) {
 
 func TestMeshScenarioGenerator(t *testing.T) {
 	cfg := DefaultMeshConfig(2)
-	if cfg.Neighbors != 1 {
-		t.Fatalf("neighbors = %d for n=2", cfg.Neighbors)
+	if cfg.Degree != 1 {
+		t.Fatalf("degree = %d for n=2", cfg.Degree)
 	}
 	cfg = DefaultMeshConfig(32)
-	if cfg.Neighbors != 3 {
-		t.Fatalf("neighbors = %d for n=32", cfg.Neighbors)
+	if cfg.Degree != 3 {
+		t.Fatalf("degree = %d for n=32", cfg.Degree)
 	}
 	// Partition counts beyond the platform count are capped, not an error.
 	small := quickMeshConfig(3)

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// --- Experiment E12: topology sweep over the scenario engine ---
+//
+// E10 and E11 exercise one deployment shape (the ring mesh). The
+// scenario engine makes deployment shape a declarative input, so E12
+// sweeps the same client/server workload across every topology
+// generator (star, ring, tree, random-regular) × partition count and
+// extends the federated-vs-single byte-equality gate to each: the
+// determinism claim is checked per *shape*, not just per scale.
+
+// TopologySweepConfig parameterizes E12.
+type TopologySweepConfig struct {
+	// Platforms is N, the platform count each shape is generated for.
+	Platforms int
+	// Rounds is the per-client call-round count.
+	Rounds int
+	// NoiseEvents drives each platform's local load generator.
+	NoiseEvents int
+	// PartitionCounts are the execution modes swept per shape; 1 is the
+	// single-kernel reference.
+	PartitionCounts []int
+}
+
+// DefaultTopologySweepConfig returns the E12 scale: 12 platforms per
+// shape, the E10 workload mix, partition counts {1, 2, 4}.
+func DefaultTopologySweepConfig() TopologySweepConfig {
+	return TopologySweepConfig{
+		Platforms:       12,
+		Rounds:          12,
+		NoiseEvents:     400,
+		PartitionCounts: []int{1, 2, 4},
+	}
+}
+
+// topoSpec builds the E12 spec for one shape.
+func (c TopologySweepConfig) topoSpec(shape scenario.Shape) scenario.Spec {
+	spec := scenario.TopologyPreset(shape, c.Platforms)
+	spec.Rounds = c.Rounds
+	spec.NoiseEvents = c.NoiseEvents
+	return spec
+}
+
+// TopologySweepEntry is one (shape, partition count) cell of E12.
+type TopologySweepEntry struct {
+	// Shape is the topology generator the cell ran.
+	Shape scenario.Shape
+	// Partitions is the executed partition count.
+	Partitions int
+	// Calls/Served/Errors aggregate the canonical per-platform rows.
+	Calls int
+	// Served counts compute invocations across all platforms.
+	Served int
+	// Errors counts observable call failures across all platforms.
+	Errors int
+	// CoordRounds is the federation's coordination-round count
+	// (mode-dependent diagnostic; zero on a single kernel).
+	CoordRounds uint64
+	// EventsFired counts kernel events (mode-dependent diagnostic).
+	EventsFired uint64
+}
+
+// TopologySweepResult is the full E12 sweep.
+type TopologySweepResult struct {
+	// Config is the sweep configuration.
+	Config TopologySweepConfig
+	// Seed is the world seed every cell used.
+	Seed uint64
+	// Entries holds one cell per shape × partition count, in sweep
+	// order.
+	Entries []TopologySweepEntry
+	// Reports maps each shape to its canonical report (identical for
+	// every partition count — enforced during the sweep).
+	Reports map[scenario.Shape]string
+}
+
+// Table renders the sweep.
+func (r *TopologySweepResult) Table() *metrics.Table {
+	t := metrics.NewTable("topology", "partitions", "calls", "served", "errors", "events", "sync rounds")
+	for _, e := range r.Entries {
+		t.Row(string(e.Shape), e.Partitions, e.Calls, e.Served, e.Errors, e.EventsFired, e.CoordRounds)
+	}
+	return t
+}
+
+// RunTopologySweep executes E12 once: for every topology shape it runs
+// the workload at each partition count and requires the canonical
+// report to be byte-identical to the shape's single-kernel reference —
+// the E10 gate extended to every deployment shape the generator can
+// produce. It errors on the first divergence or idle workload.
+func RunTopologySweep(seed uint64, cfg TopologySweepConfig) (*TopologySweepResult, error) {
+	if len(cfg.PartitionCounts) == 0 {
+		cfg.PartitionCounts = []int{1, 2, 4}
+	}
+	res := &TopologySweepResult{Config: cfg, Seed: seed, Reports: map[scenario.Shape]string{}}
+	for _, shape := range scenario.Shapes {
+		spec := cfg.topoSpec(shape)
+		// The single-kernel run is the reference every federated cell
+		// must match byte-for-byte.
+		ref, err := RunMesh(seed, spec, 1)
+		if err != nil {
+			return nil, fmt.Errorf("exp: topo %s reference: %w", shape, err)
+		}
+		refReport := ref.Report()
+		for _, parts := range cfg.PartitionCounts {
+			run := ref // the reference already is the parts<=1 run
+			if parts > 1 {
+				run, err = RunMesh(seed, spec, parts)
+				if err != nil {
+					return nil, fmt.Errorf("exp: topo %s × %d partitions: %w", shape, parts, err)
+				}
+			}
+			if r := run.Report(); r != refReport {
+				return nil, fmt.Errorf("exp: E12 determinism gate failed for shape %s at %d partitions:\n--- reference ---\n%s--- got ---\n%s",
+					shape, parts, refReport, r)
+			}
+			e := TopologySweepEntry{
+				Shape:       shape,
+				Partitions:  run.Partitions,
+				CoordRounds: run.CoordRounds,
+				EventsFired: run.EventsFired,
+			}
+			for _, row := range run.Rows {
+				e.Calls += row.Calls
+				e.Served += row.Served
+				e.Errors += row.Errors
+			}
+			if e.Calls == 0 || e.Served == 0 {
+				return nil, fmt.Errorf("exp: topo %s × %d partitions: idle workload (calls=%d served=%d)",
+					shape, parts, e.Calls, e.Served)
+			}
+			res.Entries = append(res.Entries, e)
+		}
+		res.Reports[shape] = refReport
+	}
+	return res, nil
+}
+
+// RunTopologyDeterminismCheck is the E12 acceptance gate: for every
+// topology shape, the generic seed × partition-count sweep (byte-
+// identical federated vs single-kernel reports per seed, differing
+// reports across seeds). It returns the per-shape per-seed reference
+// reports keyed by shape.
+func RunTopologyDeterminismCheck(seedBase uint64, seeds int, cfg TopologySweepConfig) (map[scenario.Shape][]string, error) {
+	if len(cfg.PartitionCounts) == 0 {
+		cfg.PartitionCounts = []int{1, 2, 4}
+	}
+	out := map[scenario.Shape][]string{}
+	for _, shape := range scenario.Shapes {
+		spec := cfg.topoSpec(shape)
+		_, reports, err := determinismSweep(seedBase, seeds, cfg.PartitionCounts,
+			func(seed uint64, partitions int) (*MeshResult, string, error) {
+				res, err := RunMesh(seed, spec, partitions)
+				if err != nil {
+					return nil, "", err
+				}
+				return res, res.Report(), nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("exp: E12 gate, shape %s: %w", shape, err)
+		}
+		out[shape] = reports
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// quickTopoConfig shrinks E12 for test time while keeping every shape
+// and the federated partition counts of the acceptance gate.
+func quickTopoConfig() TopologySweepConfig {
+	return TopologySweepConfig{
+		Platforms:       6,
+		Rounds:          4,
+		NoiseEvents:     40,
+		PartitionCounts: []int{1, 2, 4},
+	}
+}
+
+// The E12 acceptance gate, part 1: for every topology shape in
+// {star, ring, tree, random-regular} × partition counts {1, 2, 4},
+// federated and single-kernel runs produce byte-identical canonical
+// reports across ≥3 seeds (and the reports differ across seeds, so
+// the gate is not vacuous).
+func TestTopologySweepCrossModeDeterminism(t *testing.T) {
+	reports, err := RunTopologyDeterminismCheck(31, 3, quickTopoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(scenario.Shapes) {
+		t.Fatalf("got reports for %d shapes, want %d", len(reports), len(scenario.Shapes))
+	}
+	for shape, rs := range reports {
+		if len(rs) != 3 {
+			t.Fatalf("%s: %d per-seed reports", shape, len(rs))
+		}
+	}
+	// Different shapes must compile to behaviourally different worlds —
+	// otherwise the sweep collapses to E10.
+	seen := map[string]scenario.Shape{}
+	for shape, rs := range reports {
+		if prev, dup := seen[rs[0]]; dup {
+			t.Fatalf("shapes %s and %s produced identical reports", prev, shape)
+		}
+		seen[rs[0]] = shape
+	}
+}
+
+// The E12 acceptance gate, part 2: the sweep must not depend on the Go
+// scheduler — identical reports under different GOMAXPROCS values.
+func TestTopologySweepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := quickTopoConfig()
+	cfg.PartitionCounts = []int{4}
+	ref, err := RunTopologySweep(5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		got, err := RunTopologySweep(5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shape := range scenario.Shapes {
+			if got.Reports[shape] != ref.Reports[shape] {
+				t.Fatalf("GOMAXPROCS=%d: %s report diverged", procs, shape)
+			}
+		}
+	}
+}
+
+// The sweep's own in-run gate and workload sanity: every cell carries
+// traffic, reports identify their shapes, and the table renders.
+func TestTopologySweepShape(t *testing.T) {
+	res, err := RunTopologySweep(1, quickTopoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(scenario.Shapes) * 3; len(res.Entries) != want {
+		t.Fatalf("entries = %d, want %d", len(res.Entries), want)
+	}
+	for _, e := range res.Entries {
+		if e.Calls == 0 || e.Served == 0 {
+			t.Fatalf("idle cell: %+v", e)
+		}
+		if e.Errors != 0 {
+			t.Fatalf("fault-free sweep recorded errors: %+v", e)
+		}
+		if e.Partitions > 1 && e.CoordRounds == 0 {
+			t.Fatalf("federated cell reported zero coordination rounds: %+v", e)
+		}
+	}
+	for _, shape := range scenario.Shapes {
+		rep := res.Reports[shape]
+		if !strings.Contains(rep, "topology="+string(shape)) {
+			t.Fatalf("%s report does not name its shape:\n%s", shape, rep)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// A JSON-shaped spec run through the generic scenario runner must hit
+// the same byte-equality property as the presets (this is the path
+// cmd/experiments -scenario exercises).
+func TestRunScenarioFederatedMatchesSingle(t *testing.T) {
+	spec := scenario.TopologyPreset(scenario.Tree, 7)
+	spec.Seed = 13
+	spec.Rounds = 4
+	spec.NoiseEvents = 30
+	spec.Partitions = 1
+	single, err := RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Partitions = 3
+	fed, err := RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Report() != fed.Report() {
+		t.Fatalf("reports diverged:\n%s\nvs\n%s", single.Report(), fed.Report())
+	}
+	if fed.Partitions != 3 {
+		t.Fatalf("partitions = %d", fed.Partitions)
+	}
+}

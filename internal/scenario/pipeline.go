@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/simnet"
+)
+
+// This file is the second compiler entry point: the brake-assistant
+// substrate family (experiments E3–E5 and the E11 pipeline contrast).
+// The stock and DEAR variants in internal/apd used to duplicate this
+// wiring — kernel, jitter-latency network, platform hosts with drawn
+// or fixed drifting clocks, and the camera frame source — and now both
+// declare it as a PipelineSpec.
+//
+// Determinism note: the builder preserves the historical random-draw
+// order exactly. Platform drifts draw from the instance stream in
+// declaration order before anything else consumes it; AddPlatform
+// draws at call time, so a caller can interleave its own instance-
+// stream draws (the Figure 5 activation phases) between the initial
+// platforms and a later one — the order the pre-scenario harnesses
+// used, which the golden tests pin byte-for-byte.
+
+// ClockSpec declares a platform's local clock.
+type ClockSpec struct {
+	// DrawDrift draws DriftPPB from the world's instance stream as
+	// N(0, DriftSigmaPPB) at build time (the Figure 5 policy: each
+	// experiment instance gets fresh oscillator errors).
+	DrawDrift bool
+	// DriftSigmaPPB is the drawn drift's standard deviation.
+	DriftSigmaPPB float64
+	// DriftPPB is the fixed oscillator error when DrawDrift is false.
+	DriftPPB int64
+	// SyncBound enables periodic clock synchronization with the given
+	// bound (zero = free-running).
+	SyncBound logical.Duration
+	// SyncPeriod is the resynchronization period.
+	SyncPeriod logical.Duration
+	// SyncStream labels the kernel RNG stream driving sync jitter;
+	// empty passes a nil stream.
+	SyncStream string
+}
+
+// PlatformSpec declares one pipeline platform.
+type PlatformSpec struct {
+	// Name is the simnet host name (also used in log/trace output).
+	Name string
+	// Clock declares the platform's local clock.
+	Clock ClockSpec
+}
+
+// JitterLink declares the network's default latency model: base
+// propagation delay plus per-byte serialization cost plus truncated
+// Gaussian jitter drawn from a kernel-owned stream.
+type JitterLink struct {
+	// Base is the fixed propagation delay.
+	Base logical.Duration
+	// PerByte is the serialization cost per payload byte.
+	PerByte logical.Duration
+	// Sigma is the jitter's standard deviation.
+	Sigma logical.Duration
+	// Stream labels the kernel RNG stream the jitter draws from.
+	Stream string
+}
+
+// PipelineSpec declares the brake-assistant substrate: platforms with
+// drifting clocks behind a jitter-latency switch, plus the label of
+// the instance stream per-instance randomness (drifts, activation
+// phases) draws from.
+type PipelineSpec struct {
+	// InstanceStream labels the kernel stream for per-instance draws;
+	// empty means the world has no instance stream (the DEAR variant).
+	InstanceStream string
+	// Link is the network's default latency model.
+	Link JitterLink
+	// SwitchDelay is the store-and-forward switch delay.
+	SwitchDelay logical.Duration
+	// Faults installs a deterministic fault schedule (nil = benign).
+	Faults *simnet.FaultPlan
+	// Platforms are the initial platforms, built in order.
+	Platforms []PlatformSpec
+}
+
+// PipelineWorld is a compiled pipeline substrate. The application
+// stack (SWCs, reactors, transactors) is installed by the caller —
+// that is measurement code, not deployment.
+type PipelineWorld struct {
+	// Kernel is the simulation kernel.
+	Kernel *des.Kernel
+	// Net is the simulated network.
+	Net *simnet.Network
+	// Hosts are the platform hosts in declaration order (AddPlatform
+	// appends).
+	Hosts []*simnet.Host
+	// InstanceRand is the per-instance stream (nil when the spec names
+	// none). Drift draws consumed it in platform order; callers
+	// continue drawing from the same object.
+	InstanceRand *des.Rand
+}
+
+// BuildPipeline compiles the pipeline substrate for the seed: kernel,
+// network with the jitter link model, and the declared platforms in
+// order (drawing any DrawDrift clocks from the instance stream).
+func BuildPipeline(seed uint64, spec PipelineSpec) *PipelineWorld {
+	k := des.NewKernel(seed)
+	w := &PipelineWorld{Kernel: k}
+	if spec.InstanceStream != "" {
+		w.InstanceRand = k.Rand(spec.InstanceStream)
+	}
+	// Drift draws precede network construction — the historical order;
+	// label-derived streams are independent, but within the instance
+	// stream the draw sequence is part of the golden contract.
+	drifts := make([]int64, len(spec.Platforms))
+	for i, p := range spec.Platforms {
+		drifts[i] = w.drift(p.Clock)
+	}
+	w.Net = simnet.NewNetwork(k, simnet.Config{
+		DefaultLatency: &simnet.JitterLatency{
+			Base:    spec.Link.Base,
+			PerByte: spec.Link.PerByte,
+			Sigma:   spec.Link.Sigma,
+			Rng:     k.Rand(spec.Link.Stream),
+		},
+		SwitchDelay: spec.SwitchDelay,
+		Faults:      spec.Faults,
+	})
+	for i, p := range spec.Platforms {
+		w.addHost(p, drifts[i])
+	}
+	return w
+}
+
+// AddPlatform appends one more platform, drawing its clock drift from
+// the instance stream *now* — after any draws the caller has made in
+// the meantime. The Figure 5 split deployment depends on this order:
+// the third platform's drift draws after the activation phases.
+func (w *PipelineWorld) AddPlatform(p PlatformSpec) *simnet.Host {
+	return w.addHost(p, w.drift(p.Clock))
+}
+
+func (w *PipelineWorld) drift(c ClockSpec) int64 {
+	if !c.DrawDrift {
+		return c.DriftPPB
+	}
+	return int64(w.InstanceRand.Norm(0, c.DriftSigmaPPB))
+}
+
+func (w *PipelineWorld) addHost(p PlatformSpec, drift int64) *simnet.Host {
+	var sync *des.Rand
+	if p.Clock.SyncStream != "" {
+		sync = w.Kernel.Rand(p.Clock.SyncStream)
+	}
+	h := w.Net.AddHost(p.Name, w.Kernel.NewLocalClock(des.ClockConfig{
+		DriftPPB:   drift,
+		SyncBound:  p.Clock.SyncBound,
+		SyncPeriod: p.Clock.SyncPeriod,
+	}, sync))
+	w.Hosts = append(w.Hosts, h)
+	return h
+}
+
+// FrameSource declares the camera: a sporadic sensor on one platform
+// sending frames over a proprietary (raw datagram) protocol, paced by
+// the platform's local clock with Gaussian capture jitter.
+type FrameSource struct {
+	// Platform indexes the source platform in Hosts.
+	Platform int
+	// Dst is the sink endpoint the frames are sent to.
+	Dst simnet.Addr
+	// Count is the number of frames to send.
+	Count int
+	// Period is the nominal capture period.
+	Period logical.Duration
+	// JitterSigma is the capture jitter's standard deviation.
+	JitterSigma logical.Duration
+	// Settle delays the first frame (service-discovery warm-up).
+	Settle logical.Duration
+	// Stream labels the kernel RNG stream for capture jitter.
+	Stream string
+	// Name is the source's process name.
+	Name string
+}
+
+// SpawnFrameSource installs the camera process: payload is invoked at
+// each capture instant with the current global time and returns the
+// frame bytes to send (the callback is where the caller generates
+// content and counts sends, preserving its historical draw order).
+func (w *PipelineWorld) SpawnFrameSource(fs FrameSource, payload func(now logical.Time) []byte) {
+	out := w.Hosts[fs.Platform].MustBind(0)
+	rng := w.Kernel.Rand(fs.Stream)
+	clock := w.Hosts[fs.Platform].Clock()
+	w.Kernel.SpawnAt(logical.Time(fs.Settle), fs.Name, func(p *des.Process) {
+		start := clock.Now()
+		for i := 0; i < fs.Count; i++ {
+			next := start.Add(logical.Duration(i)*fs.Period +
+				logical.Duration(rng.Norm(0, float64(fs.JitterSigma))))
+			if g := clock.GlobalAt(next); g > p.Now() {
+				p.WaitUntil(g)
+			}
+			out.Send(fs.Dst, payload(p.Now()))
+		}
+	})
+}

@@ -1,0 +1,369 @@
+// Package scenario is the declarative layer under every simulated
+// experiment: a Spec describes a deployment — platform count, topology
+// shape, partition assignment, link model, fault plan, workload mix,
+// seed policy — and Build compiles it into a runnable world (kernel or
+// federation, network or cluster, hosts, ara runtimes, client/server
+// processes). Experiments become thin Spec constructors plus
+// measurement code, and a deployment that was never compiled into the
+// binary can run from a JSON file (cmd/experiments -scenario).
+//
+// Two compiler entry points exist:
+//
+//   - Build compiles the client/server compute-mesh family (E10, E11,
+//     E12, JSON scenarios): every platform offers a "compute" service
+//     and runs one client whose call targets come from the topology
+//     generator.
+//   - BuildPipeline (pipeline.go) compiles the brake-assistant
+//     substrate family (E3–E5, E11 pipeline): kernel, jitter-latency
+//     network, drifting platform clocks and the camera frame source
+//     shared by the stock and DEAR variants in internal/apd.
+//
+// Determinism contract: for a fixed Spec, the world's behaviour is a
+// pure function of Spec.Seed, identical for every Partitions value and
+// GOMAXPROCS setting (the E10/E11/E12 gates pin this byte-for-byte).
+// Describe renders a canonical, mode-independent description of the
+// compiled world — it deliberately excludes the partition count and
+// anything else that only selects an execution mode.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/logical"
+	"repro/internal/simnet"
+)
+
+// Shape names a topology generator. All generators are pure functions
+// of (shape, platform count, degree, seed); see Topology.
+type Shape string
+
+// The supported topology shapes.
+const (
+	// Full connects every client to every other platform (a ring of
+	// degree n-1).
+	Full Shape = "full"
+	// Ring connects client i to its Degree successors (i+1 .. i+Degree,
+	// modulo n) — the classic E10 mesh shape.
+	Ring Shape = "ring"
+	// Star routes all leaf clients to platform 0; platform 0's client
+	// calls every leaf.
+	Star Shape = "star"
+	// Tree arranges platforms as a Degree-ary heap: each client calls
+	// its parent and its children.
+	Tree Shape = "tree"
+	// RandomRegular gives every client Degree distinct targets drawn as
+	// a pure function of the spec seed via des.Mix3 (a seeded k-out
+	// regular digraph).
+	RandomRegular Shape = "random-regular"
+)
+
+// Shapes lists every supported topology shape in canonical sweep order.
+var Shapes = []Shape{Star, Ring, Tree, RandomRegular}
+
+// CrashPlan schedules a platform crash (and optional restart) inside a
+// compiled world: the platform's host fails at At (endpoints close,
+// in-flight packets drop, its client exits when it observes the
+// outage) and — if RestartAt > At — comes back with a rebuilt runtime
+// whose skeleton re-offers, after which a reborn client issues
+// RebornRounds more call rounds. All times are simulated, so the
+// schedule is identical in every execution mode.
+type CrashPlan struct {
+	// Platform indexes the platform to crash.
+	Platform int `json:"platform"`
+	// At is the crash instant.
+	At logical.Time `json:"atNs"`
+	// RestartAt is the restart instant; zero (or ≤ At) means the
+	// platform stays down.
+	RestartAt logical.Time `json:"restartAtNs,omitempty"`
+	// RebornRounds is the number of call rounds the restarted
+	// platform's client runs.
+	RebornRounds int `json:"rebornRounds,omitempty"`
+}
+
+// Spec is the declarative description of a client/server scenario. It
+// serializes to/from JSON (durations are nanosecond integers), so a
+// deployment can be described in a file and run without recompiling.
+// The zero values of Topology, Degree, Partitions and Gap-class fields
+// are normalized to the E10 mesh defaults; Platforms and LinkLatency
+// must be set explicitly.
+type Spec struct {
+	// Name labels the scenario; it prefixes the canonical report header
+	// of generic scenario runs. Empty selects the legacy E10 header.
+	Name string `json:"name,omitempty"`
+	// Platforms is N, the number of simulated ECUs. Must be ≥ 2.
+	Platforms int `json:"platforms"`
+	// Topology selects the call-graph generator; empty means Ring.
+	Topology Shape `json:"topology,omitempty"`
+	// Degree parameterizes the shape: ring neighbor count, tree fan-out,
+	// random-regular out-degree (capped at Platforms-1; 0 means
+	// min(3, Platforms-1), the E10 default).
+	Degree int `json:"degree,omitempty"`
+	// Partitions is the execution-mode default: ≤ 1 runs on a single
+	// kernel, larger values shard the platforms round-robin over that
+	// many federated kernels (capped at Platforms). Excluded from
+	// Describe — it must not change behaviour.
+	Partitions int `json:"partitions,omitempty"`
+	// Seed drives every random stream of the world.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rounds is the number of call rounds per client; each round issues
+	// one blocking call per topology target.
+	Rounds int `json:"rounds,omitempty"`
+	// Gap is the base think time between rounds (each client adds a
+	// deterministic per-client skew so request arrivals never collide).
+	Gap logical.Duration `json:"gapNs,omitempty"`
+	// WorkBase/WorkSpread model the server's execution time: base plus
+	// a payload-hash-dependent spread, so timing is data-dependent but
+	// identical in both execution modes.
+	WorkBase logical.Duration `json:"workBaseNs,omitempty"`
+	// WorkSpread is the data-dependent part of the server time model.
+	WorkSpread logical.Duration `json:"workSpreadNs,omitempty"`
+	// NoiseEvents drives the per-platform local load generator
+	// (loopback datagrams on the platform's own host); 0 disables it.
+	NoiseEvents int `json:"noiseEvents,omitempty"`
+	// NoiseInterval is the local load generator's send period.
+	NoiseInterval logical.Duration `json:"noiseIntervalNs,omitempty"`
+	// LinkLatency is the fixed platform-to-platform latency. It must be
+	// positive and RNG-free: its minimum is the federation lookahead.
+	LinkLatency logical.Duration `json:"linkLatencyNs"`
+	// SwitchDelay is the store-and-forward delay added to
+	// inter-platform packets.
+	SwitchDelay logical.Duration `json:"switchDelayNs,omitempty"`
+	// CallTimeout (optional) bounds every client call; expiry is
+	// counted as an observable error in the report. Required when
+	// Faults can drop packets or Crash is set — without it a lost call
+	// would park its client forever.
+	CallTimeout logical.Duration `json:"callTimeoutNs,omitempty"`
+	// Faults (optional) installs a deterministic fault schedule:
+	// counter-based per-link loss, partitions and jitter bursts.
+	Faults *simnet.FaultPlan `json:"faults,omitempty"`
+	// Crash (optional) schedules a platform crash and restart.
+	Crash *CrashPlan `json:"crash,omitempty"`
+}
+
+// MeshPreset returns the E10 mesh scenario for n platforms: a ring of
+// degree min(3, n-1) with the workload mix of DefaultMeshConfig.
+func MeshPreset(n int) Spec {
+	k := 3
+	if k > n-1 {
+		k = n - 1
+	}
+	return Spec{
+		Platforms:     n,
+		Topology:      Ring,
+		Degree:        k,
+		Rounds:        20,
+		Gap:           800 * logical.Microsecond,
+		WorkBase:      20 * logical.Microsecond,
+		WorkSpread:    120 * logical.Microsecond,
+		NoiseEvents:   400,
+		NoiseInterval: 50 * logical.Microsecond,
+		LinkLatency:   350 * logical.Microsecond,
+		SwitchDelay:   20 * logical.Microsecond,
+	}
+}
+
+// TopologyPreset returns the E12 sweep scenario: the E10 workload mix
+// on the given topology shape.
+func TopologyPreset(shape Shape, n int) Spec {
+	s := MeshPreset(n)
+	s.Name = "topo-" + string(shape)
+	s.Topology = shape
+	return s
+}
+
+// ParseSpec decodes a JSON scenario description. Unknown fields are
+// rejected so that a typo in a spec file fails loudly instead of
+// silently running the default value.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	return s, nil
+}
+
+// MarshalJSONSpec encodes the spec as indented JSON, the format of the
+// files under examples/scenarios/.
+func MarshalJSONSpec(s Spec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// normalized returns a copy with defaults filled and the shape
+// parameters capped, or an error when the spec is invalid. Every
+// compiler entry point and Describe go through it, so a spec and its
+// JSON round trip always compile to the same world.
+func (s Spec) normalized() (Spec, error) {
+	if s.Platforms < 2 {
+		return s, fmt.Errorf("scenario: needs at least 2 platforms")
+	}
+	if s.Topology == "" {
+		s.Topology = Ring
+	}
+	switch s.Topology {
+	case Full, Ring, Star, Tree, RandomRegular:
+	default:
+		return s, fmt.Errorf("scenario: unknown topology shape %q", s.Topology)
+	}
+	if s.Degree <= 0 {
+		s.Degree = 3
+	}
+	if s.Degree > s.Platforms-1 {
+		s.Degree = s.Platforms - 1
+	}
+	if s.Partitions < 1 {
+		s.Partitions = 1
+	}
+	if s.Partitions > s.Platforms {
+		s.Partitions = s.Platforms
+	}
+	if s.LinkLatency <= 0 {
+		return s, fmt.Errorf("scenario: needs positive link latency (it is the federation lookahead)")
+	}
+	if s.Faults != nil {
+		// Surface fault-plan mistakes here: the single-kernel build path
+		// would otherwise only discover them as a panic inside
+		// simnet.NewNetwork, and a JSON spec must fail loudly instead.
+		if err := s.Faults.Validate(); err != nil {
+			return s, err
+		}
+	}
+	if s.Crash != nil && (s.Crash.Platform < 0 || s.Crash.Platform >= s.Platforms) {
+		return s, fmt.Errorf("scenario: crash platform %d out of range", s.Crash.Platform)
+	}
+	if s.CallTimeout <= 0 {
+		// Without a timeout a lost request or response would park its
+		// client process forever and the run would end with silently
+		// missing calls — enforce the documented precondition.
+		if s.Crash != nil {
+			return s, fmt.Errorf("scenario: a crash plan requires CallTimeout > 0 (calls into the outage must fail observably)")
+		}
+		if f := s.Faults; f != nil && (f.DropRate > 0 || len(f.Loss) > 0 || len(f.Partitions) > 0) {
+			return s, fmt.Errorf("scenario: a fault plan that can drop packets requires CallTimeout > 0")
+		}
+	}
+	return s, nil
+}
+
+// Validate reports whether the spec compiles, without building a world.
+func (s Spec) Validate() error {
+	_, err := s.normalized()
+	return err
+}
+
+// Describe renders the canonical, mode-independent description of the
+// world the spec compiles to: name, shape, link and workload
+// parameters, fault schedule summary and the full client→server call
+// graph. Two specs that describe identically compile to behaviourally
+// identical worlds; the golden tests pin the string per topology
+// shape. Partition count is deliberately excluded — it selects an
+// execution mode and must not change behaviour.
+func Describe(s Spec) (string, error) {
+	n, err := s.normalized()
+	if err != nil {
+		return "", err
+	}
+	edges, err := Topology(n.Topology, n.Platforms, n.Degree, n.Seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	name := n.Name
+	if name == "" {
+		name = "mesh"
+	}
+	fmt.Fprintf(&b, "scenario %s topology=%s platforms=%d degree=%d seed=%d\n",
+		name, n.Topology, n.Platforms, n.Degree, n.Seed)
+	fmt.Fprintf(&b, "link latencyNs=%d switchDelayNs=%d callTimeoutNs=%d\n",
+		int64(n.LinkLatency), int64(n.SwitchDelay), int64(n.CallTimeout))
+	fmt.Fprintf(&b, "workload rounds=%d gapNs=%d workBaseNs=%d workSpreadNs=%d noise=%d@%dns\n",
+		n.Rounds, int64(n.Gap), int64(n.WorkBase), int64(n.WorkSpread),
+		n.NoiseEvents, int64(n.NoiseInterval))
+	if f := n.Faults; f != nil {
+		// The full schedule, not a summary: Describe equality must imply
+		// behavioural equality, and every window parameter is behaviour.
+		fmt.Fprintf(&b, "faults seed=%d drop=%.6f\n", f.Seed, f.DropRate)
+		for _, w := range f.Loss {
+			fmt.Fprintf(&b, "  loss fromNs=%d toNs=%d a=%d b=%d rate=%.6f\n",
+				int64(w.From), int64(w.To), w.A, w.B, w.Rate)
+		}
+		for _, w := range f.Partitions {
+			fmt.Fprintf(&b, "  partition fromNs=%d toNs=%d groupA=%v groupB=%v\n",
+				int64(w.From), int64(w.To), w.GroupA, w.GroupB)
+		}
+		for _, w := range f.Jitter {
+			fmt.Fprintf(&b, "  jitter fromNs=%d toNs=%d a=%d b=%d extraNs=%d\n",
+				int64(w.From), int64(w.To), w.A, w.B, int64(w.Extra))
+		}
+	} else {
+		b.WriteString("faults none\n")
+	}
+	if c := n.Crash; c != nil {
+		fmt.Fprintf(&b, "crash platform=%d atNs=%d restartAtNs=%d rebornRounds=%d\n",
+			c.Platform, int64(c.At), int64(c.RestartAt), c.RebornRounds)
+	} else {
+		b.WriteString("crash none\n")
+	}
+	for i, targets := range edges {
+		fmt.Fprintf(&b, "plat%02d compute@%d ->", i, Port)
+		for _, j := range targets {
+			fmt.Fprintf(&b, " %02d", j)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// PlatformStats is the per-platform slice of a scenario run's canonical
+// report: every observable outcome of the platform's client and server,
+// folded into order-sensitive hashes so two runs agree on *which* calls
+// happened (and failed), not just how many.
+type PlatformStats struct {
+	// Calls counts completed client calls.
+	Calls int
+	// Served counts compute invocations handled by this platform.
+	Served int
+	// Errors counts observable call failures (timeouts, send errors);
+	// zero in fault-free scenarios. Every error is also folded into
+	// RespHash, so two runs agree on which calls failed.
+	Errors int
+	// RespHash folds every response (and failure) into an FNV chain.
+	RespHash uint64
+	// LatSumNs accumulates round-trip latency.
+	LatSumNs int64
+	// LatMaxNs tracks the worst round trip.
+	LatMaxNs int64
+	// NoiseHash folds the local load generator's deliveries.
+	NoiseHash uint64
+}
+
+// LatMeanNs returns the integer mean round-trip latency (exact — no
+// floating point, so reports are byte-stable).
+func (r *PlatformStats) LatMeanNs() int64 {
+	if r.Calls == 0 {
+		return 0
+	}
+	return r.LatSumNs / int64(r.Calls)
+}
+
+// StatsReport renders the canonical per-platform report body: one line
+// per platform plus a totals line. Experiments prepend their header;
+// two runs are behaviourally identical iff their full reports are
+// byte-identical.
+func StatsReport(rows []PlatformStats) string {
+	var b strings.Builder
+	totalCalls, totalServed, totalErrors := 0, 0, 0
+	for i, row := range rows {
+		fmt.Fprintf(&b, "plat%02d calls=%d served=%d errs=%d resp=%016x latMeanNs=%d latMaxNs=%d noise=%016x\n",
+			i, row.Calls, row.Served, row.Errors, row.RespHash, row.LatMeanNs(), row.LatMaxNs, row.NoiseHash)
+		totalCalls += row.Calls
+		totalServed += row.Served
+		totalErrors += row.Errors
+	}
+	fmt.Fprintf(&b, "total calls=%d served=%d errs=%d\n", totalCalls, totalServed, totalErrors)
+	return b.String()
+}

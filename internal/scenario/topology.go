@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Topology generates the client call graph for a shape: edges[i] is
+// the ordered list of platforms client i calls each round. Every
+// generator is a pure function of (shape, n, degree, seed) — the
+// random-regular shape derives its draws from the seed via des.Mix3
+// counter-based hashing, never from a sequential stream — so the same
+// spec always yields the same graph, in any execution mode.
+//
+// Invariants (checked by the generator tests): every client has at
+// least one target, no client targets itself, and targets are unique
+// per client.
+func Topology(shape Shape, n, degree int, seed uint64) ([][]int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("scenario: topology needs at least 2 platforms")
+	}
+	if degree < 1 || degree > n-1 {
+		return nil, fmt.Errorf("scenario: degree %d outside [1, %d]", degree, n-1)
+	}
+	edges := make([][]int, n)
+	switch shape {
+	case Full:
+		for i := 0; i < n; i++ {
+			for d := 1; d <= n-1; d++ {
+				edges[i] = append(edges[i], (i+d)%n)
+			}
+		}
+	case Ring:
+		for i := 0; i < n; i++ {
+			for d := 1; d <= degree; d++ {
+				edges[i] = append(edges[i], (i+d)%n)
+			}
+		}
+	case Star:
+		for leaf := 1; leaf < n; leaf++ {
+			edges[0] = append(edges[0], leaf)
+			edges[leaf] = []int{0}
+		}
+	case Tree:
+		// A degree-ary heap layout: node i's parent is (i-1)/degree.
+		// Clients call their parent first, then their children in
+		// ascending order; the root calls only its children.
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				edges[i] = append(edges[i], (i-1)/degree)
+			}
+			for c := degree*i + 1; c <= degree*i+degree && c < n; c++ {
+				edges[i] = append(edges[i], c)
+			}
+		}
+		// Leaves whose parent is themselves impossible; every node but
+		// the root has a parent, the root has children because n ≥ 2.
+	case RandomRegular:
+		// A seeded k-out regular digraph: every client draws `degree`
+		// distinct targets by rejection sampling over counter-based
+		// hashes. Each draw is Mix3(seed, client salt, counter) — a
+		// pure function, so the graph is identical everywhere.
+		for i := 0; i < n; i++ {
+			seen := make(map[int]bool, degree+1)
+			seen[i] = true
+			var ctr uint64
+			for len(edges[i]) < degree {
+				v := des.Mix3(seed, 0x70700000+uint64(i), ctr)
+				ctr++
+				j := int(v % uint64(n))
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				edges[i] = append(edges[i], j)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology shape %q", shape)
+	}
+	return edges, nil
+}

@@ -35,21 +35,21 @@ import (
 type FaultPlan struct {
 	// Seed salts every counter-based draw. Two plans that differ only in
 	// Seed produce independent fault patterns.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// DropRate is the background probability of losing any inter-host
 	// packet, matching Config.DropRate semantics.
-	DropRate float64
+	DropRate float64 `json:"dropRate,omitempty"`
 	// Loss elevates the loss probability on selected links during
 	// windows of simulated time.
-	Loss []LossWindow
+	Loss []LossWindow `json:"loss,omitempty"`
 	// Partitions black out all traffic between two host groups during
 	// windows of simulated time (both directions, no randomness).
-	Partitions []PartitionWindow
+	Partitions []PartitionWindow `json:"partitions,omitempty"`
 	// Jitter adds bounded extra one-way delay on selected links during
 	// windows of simulated time. Extra delay is always non-negative, so
 	// a link model's MinLatency lower bound — and with it the federation
 	// lookahead — remains valid under any jitter burst.
-	Jitter []JitterBurst
+	Jitter []JitterBurst `json:"jitter,omitempty"`
 }
 
 // LossWindow raises the drop probability for packets between hosts A
@@ -57,13 +57,18 @@ type FaultPlan struct {
 // acts as a wildcard matching any host. When several windows match one
 // packet, the highest rate (including the background DropRate) applies.
 type LossWindow struct {
-	// From and To bound the window: a packet is affected iff its send
+	// From bounds the window start: a packet is affected iff its send
 	// time lies in [From, To).
-	From, To logical.Time
-	// A and B select the host pair (either direction); zero = any host.
-	A, B uint16
+	From logical.Time `json:"fromNs"`
+	// To bounds the window end (exclusive).
+	To logical.Time `json:"toNs"`
+	// A selects one endpoint of the host pair (either direction);
+	// zero = any host.
+	A uint16 `json:"a,omitempty"`
+	// B selects the other endpoint; zero = any host.
+	B uint16 `json:"b,omitempty"`
 	// Rate is the drop probability inside the window.
-	Rate float64
+	Rate float64 `json:"rate"`
 }
 
 // PartitionWindow models a network partition: every packet crossing
@@ -74,14 +79,16 @@ type LossWindow struct {
 // empty one isolates that group from the rest of the network; both
 // groups empty is a global blackout (no packet crosses anywhere).
 type PartitionWindow struct {
-	// From and To bound the blackout: a packet is severed iff its send
+	// From bounds the blackout start: a packet is severed iff its send
 	// time lies in [From, To).
-	From, To logical.Time
+	From logical.Time `json:"fromNs"`
+	// To bounds the blackout end (exclusive).
+	To logical.Time `json:"toNs"`
 	// GroupA is one side of the partition; empty means "every host not
 	// in GroupB".
-	GroupA []uint16
+	GroupA []uint16 `json:"groupA,omitempty"`
 	// GroupB is the other side; empty means "every host not in GroupA".
-	GroupB []uint16
+	GroupB []uint16 `json:"groupB,omitempty"`
 }
 
 // JitterBurst adds uniform extra delay in [0, Extra] to packets between
@@ -91,14 +98,19 @@ type PartitionWindow struct {
 // failure mode that corrupts one-slot buffers in the stock APD pipeline
 // (experiment E11).
 type JitterBurst struct {
-	// From and To bound the burst: a packet is affected iff its send
+	// From bounds the burst start: a packet is affected iff its send
 	// time lies in [From, To).
-	From, To logical.Time
-	// A and B select the host pair (either direction); zero = any host.
-	A, B uint16
+	From logical.Time `json:"fromNs"`
+	// To bounds the burst end (exclusive).
+	To logical.Time `json:"toNs"`
+	// A selects one endpoint of the host pair (either direction);
+	// zero = any host.
+	A uint16 `json:"a,omitempty"`
+	// B selects the other endpoint; zero = any host.
+	B uint16 `json:"b,omitempty"`
 	// Extra is the maximum added one-way delay; each affected packet
 	// draws uniformly from [0, Extra].
-	Extra logical.Duration
+	Extra logical.Duration `json:"extraNs"`
 }
 
 // Validate checks the plan's static constraints: probabilities within

@@ -22,6 +22,17 @@ type Writer struct {
 // NewWriter returns an empty payload writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// NewWriterBuffer returns a writer that serializes into buf's storage
+// (truncated to length zero, capacity kept). Hot paths hand the writer
+// a pooled or stack buffer and serialize without per-message
+// allocations as long as the payload fits the capacity.
+func NewWriterBuffer(buf []byte) *Writer { return &Writer{buf: buf[:0]} }
+
+// Reset truncates the writer for reuse, keeping the accumulated
+// capacity — the pooling companion to NewWriterBuffer. Bytes returned
+// by earlier Bytes calls alias the storage and are invalidated.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Bytes returns the accumulated payload.
 func (w *Writer) Bytes() []byte { return w.buf }
 
@@ -112,6 +123,14 @@ type Reader struct {
 
 // NewReader wraps a payload for reading.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset re-aims the reader at a new payload, clearing any sticky
+// error — the pooling companion to NewReader.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.off = 0
+	r.err = nil
+}
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
@@ -214,7 +233,10 @@ func (r *Reader) String() string {
 	return string(b)
 }
 
-// Blob reads a length-prefixed byte array (copied).
+// Blob reads a length-prefixed byte array. The returned slice aliases
+// the payload buffer — no defensive copy, no allocation. Callers that
+// outlive the payload (or mutate the result) serialize into their own
+// storage with BlobAppend instead.
 func (r *Reader) Blob() []byte {
 	n := int(r.U32())
 	if r.err != nil {
@@ -224,19 +246,34 @@ func (r *Reader) Blob() []byte {
 		r.err = fmt.Errorf("%w: blob length %d exceeds remaining %d", ErrPayloadTruncated, n, r.Remaining())
 		return nil
 	}
-	b := r.take(n)
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
+	return r.take(n)
 }
 
-// Raw reads n bytes without a length field (copied).
+// BlobAppend reads a length-prefixed byte array and appends it to dst,
+// returning the extended slice: ownership without a fresh allocation
+// when dst comes from a pool (or has capacity left). On a decoding
+// error dst is returned unchanged.
+func (r *Reader) BlobAppend(dst []byte) []byte {
+	b := r.Blob()
+	if b == nil {
+		return dst
+	}
+	return append(dst, b...)
+}
+
+// Raw reads n bytes without a length field. Like Blob, the returned
+// slice aliases the payload buffer; use RawAppend for an owned copy.
 func (r *Reader) Raw(n int) []byte {
+	return r.take(n)
+}
+
+// RawAppend reads n bytes without a length field and appends them to
+// dst, returning the extended slice. On a decoding error dst is
+// returned unchanged.
+func (r *Reader) RawAppend(dst []byte, n int) []byte {
 	b := r.take(n)
 	if b == nil {
-		return nil
+		return dst
 	}
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
+	return append(dst, b...)
 }

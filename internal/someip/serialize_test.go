@@ -112,14 +112,105 @@ func TestBlobLengthOverrun(t *testing.T) {
 	}
 }
 
-func TestBlobIsCopied(t *testing.T) {
-	payload := NewWriter().Blob([]byte{5, 6, 7}).Bytes()
+// Blob and Raw are zero-copy: the returned slices alias the payload.
+// Callers needing ownership use BlobAppend/RawAppend into their own
+// (pooled) storage.
+func TestBlobAliasesAndAppendCopies(t *testing.T) {
+	payload := NewWriter().Blob([]byte{5, 6, 7}).Raw([]byte{8}).Bytes()
 	r := NewReader(payload)
 	b := r.Blob()
 	b[0] = 99
-	if payload[4] == 99 {
-		t.Error("Blob aliases the payload buffer")
+	if payload[4] != 99 {
+		t.Error("Blob should alias the payload buffer (zero copy)")
 	}
+	if raw := r.Raw(1); &raw[0] != &payload[len(payload)-1] {
+		t.Error("Raw should alias the payload buffer (zero copy)")
+	}
+
+	r.Reset(payload)
+	dst := make([]byte, 0, 8)
+	out := r.BlobAppend(dst)
+	if !bytes.Equal(out, []byte{99, 6, 7}) {
+		t.Fatalf("BlobAppend = %v", out)
+	}
+	out[0] = 5
+	if payload[4] != 99 {
+		t.Error("BlobAppend must copy into dst, not alias the payload")
+	}
+	out = r.RawAppend(out[:0], 1)
+	if !bytes.Equal(out, []byte{8}) {
+		t.Fatalf("RawAppend = %v", out)
+	}
+}
+
+// The decode path must be allocation-free: reading blobs and raw spans
+// out of a payload — with ownership taken via Append into a
+// caller-supplied buffer — performs zero allocations per message, and
+// a capacity-reusing writer serializes without allocating.
+func TestSerializeZeroAllocs(t *testing.T) {
+	payload := NewWriter().U32(7).Blob(make([]byte, 256)).Raw(make([]byte, 32)).Bytes()
+	r := NewReader(nil)
+	dst := make([]byte, 0, 512)
+	if allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(payload)
+		_ = r.U32()
+		dst = r.BlobAppend(dst[:0])
+		dst = r.RawAppend(dst, 32)
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+	}); allocs != 0 {
+		t.Errorf("decode path allocates %v times per message, want 0", allocs)
+	}
+
+	w := NewWriterBuffer(make([]byte, 0, 512))
+	blob := make([]byte, 200)
+	if allocs := testing.AllocsPerRun(200, func() {
+		w.Reset()
+		w.U32(7).Blob(blob).Bool(true)
+	}); allocs != 0 {
+		t.Errorf("pooled-buffer encode path allocates %v times per message, want 0", allocs)
+	}
+}
+
+// BenchmarkSerializeBlob pins the satellite win: zero-copy Blob/Raw
+// reads and pooled-buffer writes at 0 allocs/op (run with -benchmem).
+func BenchmarkSerializeBlob(b *testing.B) {
+	payload := NewWriter().Blob(make([]byte, 1024)).Bytes()
+	b.Run("decode-zero-copy", func(b *testing.B) {
+		r := NewReader(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Reset(payload)
+			if len(r.Blob()) != 1024 {
+				b.Fatal("short blob")
+			}
+		}
+	})
+	b.Run("decode-append-owned", func(b *testing.B) {
+		r := NewReader(nil)
+		dst := make([]byte, 0, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Reset(payload)
+			dst = r.BlobAppend(dst[:0])
+			if len(dst) != 1024 {
+				b.Fatal("short blob")
+			}
+		}
+	})
+	b.Run("encode-pooled", func(b *testing.B) {
+		w := NewWriterBuffer(make([]byte, 0, 2048))
+		blob := make([]byte, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			w.Blob(blob)
+			if w.Len() != 1028 {
+				b.Fatal("short payload")
+			}
+		}
+	})
 }
 
 func TestEmptyStringAndBlob(t *testing.T) {
