@@ -374,6 +374,25 @@ func BenchmarkTopologySweep(b *testing.B) {
 	b.ReportMetric(float64(cells), "cells/op")
 }
 
+// BenchmarkTraceReplay regenerates E13: one iteration records a live
+// loopback run over real UDP sockets, replays it inside a fresh
+// simulated kernel and verifies the replayed outputs match the
+// recorded ones record-for-record.
+func BenchmarkTraceReplay(b *testing.B) {
+	var events int
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunReplay(20, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Match() {
+			b.Fatalf("E13 replay gate failed: %s", res.Divergence)
+		}
+		events = res.Recorded.Len()
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
 // BenchmarkDESKernel measures raw simulation-kernel event throughput.
 func BenchmarkDESKernel(b *testing.B) {
 	k := des.NewKernel(1)

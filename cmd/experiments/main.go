@@ -5,14 +5,20 @@
 // Usage:
 //
 //	experiments [-quick] [-list] [-only <name>] [-scenario <file.json>]
+//	experiments [-quick] -trace <file>
+//	experiments -replay <file>
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
 // shrinks workloads ~20×. -list prints the experiment registry and
 // exits. -scenario compiles and runs a declarative JSON scenario spec
 // (see examples/scenarios/) through the scenario engine instead of the
-// built-in registry; it is mutually exclusive with -only. All
-// experiments except loopback are deterministic; loopback (E9) uses
-// real UDP sockets and wall-clock time.
+// built-in registry; it is mutually exclusive with -only. -trace
+// records a live loopback (real UDP) run and writes its logical event
+// trace to a file; -replay re-executes a recorded trace inside the
+// deterministic simulator and exits nonzero if the replayed outputs
+// diverge from the recorded ones (E13). -trace and -replay are
+// mutually exclusive. All experiments except loopback and replay are
+// deterministic; those two use real UDP sockets and wall-clock time.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/logical"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 type experiment struct {
@@ -40,6 +47,8 @@ func main() {
 	only := flag.String("only", "", "run a single experiment")
 	list := flag.Bool("list", false, "print the experiment registry and exit")
 	scenarioFile := flag.String("scenario", "", "compile and run a declarative JSON scenario spec")
+	traceFile := flag.String("trace", "", "record a live loopback run and write its trace to this file")
+	replayFile := flag.String("replay", "", "replay a recorded trace file in the simulator and verify outputs")
 	flag.Parse()
 
 	f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames := 20000, 20, 100000, 20000, 3, 5000
@@ -214,6 +223,22 @@ func main() {
 			fmt.Println("E11 determinism gate: byte-identical reports across 3 seeds × {1,2,3,4} partitions under the full fault schedule")
 		}},
 
+		{"replay", "E13: record a live UDP run, replay it bit-for-bit in the simulator", func() {
+			n := 200
+			if *quick {
+				n = 40
+			}
+			res, err := exp.RunReplay(n, 5*time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Table())
+			if !res.Match() {
+				log.Fatalf("E13 replay gate FAILED: first divergence: %s", res.Divergence)
+			}
+			fmt.Println("replayed outputs byte-identical to the recorded physical run (E13): the application is a pure function of its tagged inputs")
+		}},
+
 		{"topo", "E12: topology sweep (star/ring/tree/random-regular × partitions)", func() {
 			res, err := exp.RunTopologySweep(1, topoCfg)
 			if err != nil {
@@ -235,6 +260,27 @@ func main() {
 		for _, e := range experiments {
 			fmt.Printf("%-14s %s\n", e.name, e.desc)
 		}
+		return
+	}
+
+	if *traceFile != "" && *replayFile != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -trace and -replay are mutually exclusive (record first, then replay the file)")
+		os.Exit(2)
+	}
+	if (*traceFile != "" || *replayFile != "") && (*only != "" || *scenarioFile != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -trace/-replay replace the registry and are mutually exclusive with -only and -scenario")
+		os.Exit(2)
+	}
+	if *traceFile != "" {
+		n := 200
+		if *quick {
+			n = 40
+		}
+		runTraceRecord(*traceFile, n)
+		return
+	}
+	if *replayFile != "" {
+		runTraceReplay(*replayFile)
 		return
 	}
 
@@ -275,6 +321,46 @@ func main() {
 		e.run()
 		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
 	}
+}
+
+// runTraceRecord records a live n-round-trip loopback run over real
+// UDP sockets and persists its logical event trace (tagged inputs in
+// full, outputs as digests) to path, in the deterministic binary
+// format. Replay it later with -replay, or inspect it with
+// someip-dump -trace.
+func runTraceRecord(path string, n int) {
+	t0 := time.Now()
+	rec, live, err := exp.RecordLoopback(n, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteFile(path, rec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d round trips over real UDP in %v (rtt mean %v)\n",
+		live.Completed, time.Since(t0).Round(time.Millisecond), live.RTTMean)
+	fmt.Printf("trace: %d events (%d stored inputs, %d output digests) -> %s\n",
+		rec.Len(), rec.Filter(trace.KindRecv).Len(), rec.Filter(trace.KindSend).Len(), path)
+}
+
+// runTraceReplay loads a recorded trace, re-executes it inside a
+// fresh deterministic kernel and diffs the replayed outputs against
+// the recorded ones (times stripped). Divergence is fatal — the exit
+// status is the CI contract.
+func runTraceReplay(path string) {
+	rec, err := trace.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := exp.ReplaySimulated(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if d := trace.FirstDivergence(rec.WithoutTimes(), replayed.WithoutTimes()); d != nil {
+		log.Fatalf("replay DIVERGED from the recorded run: %s", d)
+	}
+	fmt.Printf("replayed %s: %d events reproduced bit-for-bit (%d inputs re-injected, %d outputs matched)\n",
+		path, replayed.Len(), rec.Filter(trace.KindRecv).Len(), rec.Filter(trace.KindSend).Len())
 }
 
 // runScenarioFile compiles a declarative JSON spec, prints its

@@ -1,10 +1,13 @@
-// Command someip-dump decodes SOME/IP messages from hex input: the
-// header, service-discovery payloads, and the DEAR tag trailer.
+// Command someip-dump decodes SOME/IP messages: the header,
+// service-discovery payloads, and the DEAR tag trailer — from hex
+// input or from a recorded trace file.
 //
 // Usage:
 //
-//	someip-dump <hex>        decode one message given as a hex string
-//	echo <hex> | someip-dump decode messages from stdin, one per line
+//	someip-dump <hex>           decode one message given as a hex string
+//	echo <hex> | someip-dump    decode messages from stdin, one per line
+//	someip-dump -trace <file>   decode the recorded messages of a trace
+//	                            file (see experiments -trace)
 //
 // Example:
 //
@@ -14,16 +17,28 @@ package main
 import (
 	"bufio"
 	"encoding/hex"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/someip"
+	"repro/internal/trace"
 )
 
 func main() {
-	if len(os.Args) > 1 {
-		for _, arg := range os.Args[1:] {
+	traceFile := flag.String("trace", "", "decode the recorded SOME/IP messages of a trace file")
+	flag.Parse()
+	if *traceFile != "" {
+		if flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "someip-dump: -trace and hex arguments are mutually exclusive")
+			os.Exit(2)
+		}
+		dumpTrace(*traceFile)
+		return
+	}
+	if flag.NArg() > 0 {
+		for _, arg := range flag.Args() {
 			dump(arg)
 		}
 		return
@@ -36,6 +51,33 @@ func main() {
 			continue
 		}
 		dump(line)
+	}
+}
+
+// dumpTrace walks a recorded trace: records that stored their message
+// bytes (captured inputs) are decoded with the full dumper; digest-
+// only records print as one-line summaries.
+func dumpTrace(path string) {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "someip-dump: %v\n", err)
+		os.Exit(1)
+	}
+	if tr.Truncated > 0 {
+		fmt.Printf("# trace truncated: %d records evicted\n", tr.Truncated)
+	}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		fmt.Printf("--- record %d: %s\n", i, r.String())
+		if r.Data == nil {
+			continue
+		}
+		m, err := someip.UnmarshalTagged(r.Data)
+		if err != nil {
+			fmt.Printf("stored bytes      malformed: %v\n", err)
+			continue
+		}
+		dumpMessage(m)
 	}
 }
 
@@ -57,6 +99,10 @@ func dump(hexStr string) {
 		fmt.Fprintf(os.Stderr, "someip-dump: %v\n", err)
 		os.Exit(1)
 	}
+	dumpMessage(m)
+}
+
+func dumpMessage(m *someip.Message) {
 	fmt.Printf("service          0x%04x\n", uint16(m.Service))
 	fmt.Printf("method/event     0x%04x", uint16(m.Method))
 	if m.Method.IsEvent() {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/someip"
+	"repro/internal/trace"
 )
 
 // --- Logical time ---
@@ -437,6 +438,75 @@ func MeshScenario(n int) Scenario { return scenario.MeshPreset(n) }
 func TopologyScenario(shape ScenarioShape, n int) Scenario {
 	return scenario.TopologyPreset(shape, n)
 }
+
+// --- Deterministic traces & replay ---
+
+// Trace is a canonical logical event trace: records ordered by
+// (time, component, sequence) — a total order every execution mode
+// agrees on, so behaviourally identical runs produce byte-identical
+// encoded traces for every partition count and GOMAXPROCS value.
+type Trace = trace.Trace
+
+// TraceRecord is one logical event of a Trace.
+type TraceRecord = trace.Record
+
+// TraceRecorder captures logical events into a pooled, zero-alloc
+// ring buffer; it implements the kernel's Tracer hook.
+type TraceRecorder = trace.Recorder
+
+// TraceDivergence names the first event at which two traces disagree
+// (time, component, kind, both sides' records).
+type TraceDivergence = trace.Divergence
+
+// KernelTracer is the kernel-side trace hook interface (see
+// Kernel.SetTracer); TraceRecorder is the canonical implementation.
+type KernelTracer = des.Tracer
+
+// RecordingEndpoint wraps a transport endpoint and records traffic:
+// inputs in full (replayable), outputs as digests.
+type RecordingEndpoint = trace.RecordingEndpoint
+
+// Replayer is a transport endpoint that re-injects a recorded
+// trace's stored inputs into a fresh simulated kernel and captures
+// the outputs for comparison.
+type Replayer = trace.Replayer
+
+// NewTraceRecorder creates a trace recorder holding up to capacity
+// records.
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// MergeTraces combines per-partition recorders into one canonical
+// trace.
+func MergeTraces(recorders ...*TraceRecorder) *Trace { return trace.Merge(recorders...) }
+
+// FirstDivergence returns the first disagreement between two
+// canonical traces, or nil when they are identical.
+func FirstDivergence(a, b *Trace) *TraceDivergence { return trace.FirstDivergence(a, b) }
+
+// NewRecordingEndpoint wraps ep so traffic is recorded into rec under
+// the given component label; now supplies record timestamps.
+func NewRecordingEndpoint(ep Endpoint, rec *TraceRecorder, component string, now func() Time) *RecordingEndpoint {
+	return trace.NewRecordingEndpoint(ep, rec, component, now)
+}
+
+// NewReplayer creates a replayer that injects recorded's stored
+// inputs into k and captures outputs into out.
+func NewReplayer(k *Kernel, recorded *Trace, out *TraceRecorder) *Replayer {
+	return trace.NewReplayer(k, recorded, out)
+}
+
+// NewEndpointRuntime creates an ara::com runtime over an arbitrary
+// pre-built transport endpoint (e.g. a Replayer) driven by the given
+// kernel.
+func NewEndpointRuntime(k *Kernel, ep Endpoint, cfg RuntimeConfig) (*Runtime, error) {
+	return ara.NewEndpointRuntime(k, ep, cfg)
+}
+
+// WriteTraceFile persists a trace in the deterministic binary format.
+func WriteTraceFile(path string, t *Trace) error { return trace.WriteFile(path, t) }
+
+// ReadTraceFile loads a binary trace file.
+func ReadTraceFile(path string) (*Trace, error) { return trace.ReadFile(path) }
 
 // --- Physical substrate ---
 

@@ -132,4 +132,30 @@
 // Experiment E12 sweeps the same workload across every topology shape
 // × partition count and extends the byte-equality determinism gate to
 // each.
+//
+// # Logical traces, divergence diagnosis and record/replay
+//
+// Every scenario run records a canonical logical event trace —
+// (time, per-component sequence, component, kind, payload digest)
+// records captured through the kernel's tracer hook into pooled ring
+// buffers. The merged trace is mode-independent: byte-identical for
+// every partition count and GOMAXPROCS value, like the canonical
+// report. When two runs disagree, FirstDivergence names the first
+// divergent event instead of leaving a byte-level diff:
+//
+//	world.Run()
+//	t := world.Trace()                    // canonical *dear.Trace
+//	if d := dear.FirstDivergence(t, t2); d != nil {
+//	    fmt.Println(d)                    // time, component, kind, digests
+//	}
+//
+// Record/replay closes the loop on the paper's pure-function claim:
+// wrap a live runtime's transport in a recording endpoint
+// (RuntimeConfig.WrapEndpoint + NewTraceRecorder), persist the trace
+// (WriteTraceFile), and re-inject the stored tagged inputs into a
+// fresh simulated kernel through a Replayer endpoint
+// (NewEndpointRuntime) — the replayed outputs must match the recorded
+// ones record-for-record. Experiment E13 runs exactly this gate over
+// a real-UDP loopback run (`go run ./cmd/experiments -trace f`, then
+// `-replay f`).
 package dear

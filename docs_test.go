@@ -3,10 +3,11 @@ package dear_test
 // Documentation gates, run by the CI docs job:
 //
 //   - TestDocsGodocCoverage is the godoc audit for the determinism
-//     substrate (internal/des, internal/simnet): every exported
-//     identifier must carry a doc comment. These two packages define
-//     the determinism contract, so an undocumented export there is a
-//     contract hole.
+//     substrate (internal/des, internal/simnet) and the trace
+//     subsystem (internal/trace): every exported identifier must
+//     carry a doc comment. These packages define the determinism
+//     contract and its observable artifact, so an undocumented export
+//     there is a contract hole.
 //   - TestDocsMarkdownLinks checks every relative link and local anchor
 //     in the top-level markdown docs.
 
@@ -23,7 +24,7 @@ import (
 
 // auditedPackages are the directories whose exported identifiers must
 // all be documented.
-var auditedPackages = []string{"internal/des", "internal/simnet"}
+var auditedPackages = []string{"internal/des", "internal/simnet", "internal/trace"}
 
 func TestDocsGodocCoverage(t *testing.T) {
 	for _, dir := range auditedPackages {

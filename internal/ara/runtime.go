@@ -38,6 +38,11 @@ type Config struct {
 	// MTU enables SOME/IP-TP segmentation for messages exceeding this
 	// wire size (0 = no segmentation).
 	MTU int
+	// WrapEndpoint, when set, wraps the runtime's transport endpoint at
+	// construction time — the seam trace recording installs itself at
+	// (e.g. trace.NewRecordingEndpoint). The wrapper sees every message
+	// the binding sends and receives, on any substrate.
+	WrapEndpoint func(someip.Endpoint) someip.Endpoint
 }
 
 // Runtime is the per-process ara::com runtime: it owns the application
@@ -134,7 +139,31 @@ func NewUDPRuntime(drv *des.RealTime, addr string, cfg Config) (*Runtime, error)
 	return rt, nil
 }
 
+// NewEndpointRuntime creates a runtime over an arbitrary pre-built
+// transport endpoint driven directly by the given kernel: the
+// endpoint must deliver inbound messages in the kernel's execution
+// context (as simulated transports do). It is the replay seam — a
+// trace.Replayer is an Endpoint whose "network" is a recorded trace —
+// and is useful for any custom substrate that speaks someip.Endpoint.
+// Like UDP runtimes it has no service-discovery agent; peers are
+// configured statically.
+func NewEndpointRuntime(k *des.Kernel, ep someip.Endpoint, cfg Config) (*Runtime, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("ara: runtime needs a name")
+	}
+	clientID := cfg.ClientID
+	if clientID == 0 {
+		clientID = 1
+	}
+	rt := newRuntime(k, k.NewLocalClock(des.ClockConfig{}, nil), cfg, ep, clientID)
+	rt.conn.OnMessage(rt.handle)
+	return rt, nil
+}
+
 func newRuntime(k *des.Kernel, clock *des.LocalClock, cfg Config, conn someip.Endpoint, clientID someip.ClientID) *Runtime {
+	if cfg.WrapEndpoint != nil {
+		conn = cfg.WrapEndpoint(conn)
+	}
 	rng := k.Rand("ara." + cfg.Name)
 	return &Runtime{
 		k:         k,

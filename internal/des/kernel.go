@@ -86,6 +86,17 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Tracer receives logical trace events from a kernel (see
+// Kernel.Trace). The canonical implementation is the trace package's
+// Recorder; the indirection keeps des free of higher-layer imports.
+// Implementations must not call back into the kernel.
+type Tracer interface {
+	// TraceEvent records one logical event: the kernel's current time,
+	// the emitting component's label, the event kind and the payload
+	// (which implementations digest, not retain).
+	TraceEvent(at logical.Time, component, kind string, payload []byte)
+}
+
 // Kernel is the simulation engine. Create one with NewKernel, spawn
 // processes and schedule events, then call Run.
 type Kernel struct {
@@ -102,6 +113,9 @@ type Kernel struct {
 	// free recycles transient Events: scheduling is the hot path shared by
 	// every federated kernel, and pooling removes the per-event allocation.
 	free []*Event
+	// tracer, when set, receives Trace calls (nil = tracing disabled;
+	// the hot-path cost is one nil check).
+	tracer Tracer
 }
 
 // NewKernel returns a kernel whose clock starts at time zero and whose
@@ -120,6 +134,24 @@ func (k *Kernel) EventsFired() uint64 { return k.fired }
 // Rand derives a named, independent random stream from the kernel seed.
 // The same (seed, label) pair always yields the same stream.
 func (k *Kernel) Rand(label string) *Rand { return k.rootRand.Stream(label) }
+
+// SetTracer installs (or, with nil, removes) the kernel's trace sink.
+// Under a Federation each partition kernel gets its own tracer, and
+// the per-partition traces merge into the canonical whole (see the
+// trace package).
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
+// Trace emits one logical event to the kernel's tracer, stamped with
+// the current simulated time. With no tracer installed it is a single
+// nil check, so instrumented components may call it unconditionally.
+// Component labels must be stable across execution modes (and each
+// component must live on exactly one kernel of a federation) for the
+// merged trace to be mode-independent.
+func (k *Kernel) Trace(component, kind string, payload []byte) {
+	if k.tracer != nil {
+		k.tracer.TraceEvent(k.now, component, kind, payload)
+	}
+}
 
 // At schedules fn to run at simulated time t. Scheduling in the past (or
 // present) fires the event at the current time but never before events

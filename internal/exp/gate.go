@@ -1,6 +1,10 @@
 package exp
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // determinismSweep is the generic engine behind the E10, E11 and E12
 // byte-equality gates: the seed × partition-count sweep every gate
@@ -11,6 +15,12 @@ import "fmt"
 // seed is vacuous). run returns the structured result alongside its
 // canonical report; the per-seed single-kernel references are returned
 // for structured assertions.
+//
+// On a report mismatch the gate consults the runs' logical event
+// traces and names the first divergent event — (time, component,
+// kind) — instead of dumping two unequal reports; the full dump
+// remains the fallback when traces are unavailable or agree (a report
+// divergence outside the traced event set).
 func determinismSweep(seedBase uint64, seeds int, partitionCounts []int,
 	run func(seed uint64, partitions int) (*MeshResult, string, error)) ([]*MeshResult, []string, error) {
 	var refs []*MeshResult
@@ -28,14 +38,12 @@ func determinismSweep(seedBase uint64, seeds int, partitionCounts []int,
 				// itself (vacuous) at full simulation cost.
 				continue
 			}
-			_, r, err := run(seed, p)
+			res, r, err := run(seed, p)
 			if err != nil {
 				return nil, nil, err
 			}
 			if r != refReport {
-				return nil, nil, fmt.Errorf(
-					"exp: diverged at seed %d, %d partitions:\n--- single kernel ---\n%s--- federated ---\n%s",
-					seed, p, refReport, r)
+				return nil, nil, divergenceError(seed, p, ref, refReport, res, r)
 			}
 		}
 		refs = append(refs, ref)
@@ -47,4 +55,19 @@ func determinismSweep(seedBase uint64, seeds int, partitionCounts []int,
 		}
 	}
 	return refs, reports, nil
+}
+
+// divergenceError builds the gate-failure error: trace-localized when
+// the traces disagree, the full report dump otherwise.
+func divergenceError(seed uint64, partitions int, ref *MeshResult, refReport string, res *MeshResult, report string) error {
+	if ref != nil && res != nil && ref.Trace != nil && res.Trace != nil {
+		if d := trace.FirstDivergence(ref.Trace, res.Trace); d != nil {
+			return fmt.Errorf(
+				"exp: diverged at seed %d, %d partitions: first divergent event at t=%v component=%s kind=%s (%s)",
+				seed, partitions, d.Time(), d.Component(), d.Kind(), d)
+		}
+	}
+	return fmt.Errorf(
+		"exp: diverged at seed %d, %d partitions (traces agree — divergence is outside the traced event set):\n--- single kernel ---\n%s--- federated ---\n%s",
+		seed, partitions, refReport, report)
 }

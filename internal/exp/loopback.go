@@ -44,7 +44,7 @@ func (r *LoopbackResult) Table() *metrics.Table {
 	return t
 }
 
-// loopbackIface is the echo service used by E9.
+// loopbackIface is the echo service used by E9 and E13.
 var loopbackIface = &ara.ServiceInterface{
 	Name:  "LoopbackEcho",
 	ID:    0x2102,
@@ -52,6 +52,33 @@ var loopbackIface = &ara.ServiceInterface{
 	Methods: []ara.MethodSpec{
 		{ID: 1, Name: "echo"},
 	},
+}
+
+// loopbackDeadline is the echo service's response-tag delay (the
+// server transactor deadline Ds in paper terms).
+const loopbackDeadline = 500 * logical.Microsecond
+
+// registerLoopbackEcho installs the echo service on a runtime: the
+// response mirrors the request payload and delays the request tag by
+// the service deadline — a pure function of the tagged input, which
+// is what makes a recorded run replayable (E13).
+func registerLoopbackEcho(rt *ara.Runtime) (*ara.Skeleton, error) {
+	sk, err := rt.NewSkeleton(loopbackIface, 1)
+	if err != nil {
+		return nil, err
+	}
+	err = sk.HandleAsync("echo", func(c *ara.Ctx, args []byte) *ara.Future {
+		r := ara.Result{Payload: args}
+		if tag := c.Message().Tag; tag != nil {
+			delayed := tag.Delay(loopbackDeadline)
+			r.Tag = &delayed
+		}
+		return ara.ResolvedFuture(c.Runtime().Kernel(), r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
 }
 
 // loopbackHook stamps each outgoing request with the tag staged by the
@@ -82,7 +109,6 @@ func RunLoopback(n int, timeout time.Duration) (*LoopbackResult, error) {
 	drvS := des.NewRealTime(des.NewKernel(1))
 	drvC := des.NewRealTime(des.NewKernel(2))
 
-	const deadline = 500 * logical.Microsecond
 	server, err := ara.NewUDPRuntime(drvS, "127.0.0.1:0", ara.Config{Name: "server", Tagged: true})
 	if err != nil {
 		return nil, err
@@ -94,18 +120,7 @@ func RunLoopback(n int, timeout time.Duration) (*LoopbackResult, error) {
 	}
 	defer client.Close()
 
-	sk, err := server.NewSkeleton(loopbackIface, 1)
-	if err != nil {
-		return nil, err
-	}
-	err = sk.HandleAsync("echo", func(c *ara.Ctx, args []byte) *ara.Future {
-		r := ara.Result{Payload: args}
-		if tag := c.Message().Tag; tag != nil {
-			delayed := tag.Delay(deadline)
-			r.Tag = &delayed
-		}
-		return ara.ResolvedFuture(c.Runtime().Kernel(), r)
-	})
+	sk, err := registerLoopbackEcho(server)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +152,7 @@ func RunLoopback(n int, timeout time.Duration) (*LoopbackResult, error) {
 			if rtt > res.RTTMax {
 				res.RTTMax = rtt
 			}
-			if r, ok := fut.Result(); ok && r.Tag != nil && *r.Tag == tag.Delay(deadline) {
+			if r, ok := fut.Result(); ok && r.Tag != nil && *r.Tag == tag.Delay(loopbackDeadline) {
 				res.TagsEchoed++
 			}
 		}

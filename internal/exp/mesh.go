@@ -7,6 +7,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 // --- Experiment E10: federated N-platform client/server mesh ---
@@ -57,6 +58,11 @@ type MeshResult struct {
 	Partitions int
 	// Rows are the canonical per-platform stats.
 	Rows []MeshPlatformRow
+	// Trace is the canonical logical event trace of the run —
+	// mode-independent like the report, and the substrate the
+	// determinism gates use to name the first divergent event when
+	// reports disagree.
+	Trace *trace.Trace
 
 	// Mode-dependent diagnostics (NOT part of the canonical report):
 	// coordination rounds are zero on a single kernel, and delivered
@@ -116,6 +122,7 @@ func RunScenario(spec scenario.Spec) (*MeshResult, error) {
 		Config:      w.Spec,
 		Partitions:  w.Partitions(),
 		Rows:        w.Stats,
+		Trace:       w.Trace(),
 		CoordRounds: w.CoordRounds(),
 		EventsFired: w.EventsFired(),
 		Delivered:   w.Delivered(),

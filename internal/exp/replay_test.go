@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// The E13 acceptance gate: a recorded loopback (real UDP) run replays
+// in the simulator with matching outputs — the application is a pure
+// function of its tagged inputs.
+func TestReplayReproducesRecordedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses real UDP sockets")
+	}
+	res, err := RunReplay(25, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live.Completed != 25 {
+		t.Fatalf("live run completed %d/25 round trips", res.Live.Completed)
+	}
+	if got := res.Recorded.Filter(trace.KindRecv).Len(); got != 25 {
+		t.Fatalf("recorded %d inputs, want 25", got)
+	}
+	if got := res.Recorded.Filter(trace.KindSend).Len(); got != 25 {
+		t.Fatalf("recorded %d outputs, want 25", got)
+	}
+	if !res.Match() {
+		t.Fatalf("replay diverged: %s", res.Divergence)
+	}
+	if res.Replayed.Len() != res.Recorded.Len() {
+		t.Fatalf("replayed %d events, recorded %d", res.Replayed.Len(), res.Recorded.Len())
+	}
+}
+
+// A trace must survive the file round trip and still replay: the
+// -trace / -replay CLI path in miniature.
+func TestReplayFromTraceFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses real UDP sockets")
+	}
+	rec, live, err := RecordLoopback(10, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Completed != 10 {
+		t.Fatalf("live run completed %d/10", live.Completed)
+	}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := trace.WriteFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := trace.FirstDivergence(rec, loaded); d != nil {
+		t.Fatalf("trace changed across the file round trip: %s", d)
+	}
+	replayed, err := ReplaySimulated(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := trace.FirstDivergence(rec.WithoutTimes(), replayed.WithoutTimes()); d != nil {
+		t.Fatalf("replay of the loaded trace diverged: %s", d)
+	}
+}
+
+// A corrupted input must change the replayed outputs — the gate is
+// not vacuous: the replay actually recomputes from the inputs.
+func TestReplayDetectsPerturbedInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses real UDP sockets")
+	}
+	rec, _, err := RecordLoopback(5, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the first stored input (the last byte
+	// of a tagged request's payload region sits before the trailer).
+	perturbed := &trace.Trace{Records: append([]trace.Record(nil), rec.Records...)}
+	found := false
+	for i := range perturbed.Records {
+		if perturbed.Records[i].Data != nil {
+			data := append([]byte(nil), perturbed.Records[i].Data...)
+			data[16] ^= 0xff // first payload byte, after the 16-byte header
+			perturbed.Records[i].Data = data
+			perturbed.Records[i].Digest = trace.Digest(data)
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no stored input to perturb")
+	}
+	replayed, err := ReplaySimulated(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := trace.FirstDivergence(rec.WithoutTimes(), replayed.WithoutTimes()); d == nil {
+		t.Fatal("perturbed inputs replayed to identical outputs — the replay is not recomputing")
+	}
+}
+
+// BenchmarkReplay measures the full E13 round trip (live UDP record +
+// simulated replay); CI runs one iteration as a smoke test.
+func BenchmarkReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunReplay(10, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Match() {
+			b.Fatalf("replay diverged: %s", res.Divergence)
+		}
+	}
+}

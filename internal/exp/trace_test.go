@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// quickTraceConfig shrinks the mesh for trace tests while keeping a
+// multi-platform workload with cross-platform calls.
+func quickTraceConfig() MeshConfig {
+	cfg := DefaultMeshConfig(6)
+	cfg.Rounds = 4
+	cfg.NoiseEvents = 40
+	return cfg
+}
+
+// The tentpole property the recorder is built around: the merged
+// federated trace is byte-identical (in the deterministic binary
+// encoding) to the single-kernel trace, across ≥3 seeds × partition
+// counts {1,2,4} × GOMAXPROCS values. The check rides the shared
+// determinismSweep engine by folding the encoded trace into the
+// compared report string.
+func TestTraceModeIndependenceProperty(t *testing.T) {
+	cfg := quickTraceConfig()
+	run := func(seed uint64, partitions int) (*MeshResult, string, error) {
+		res, err := RunMesh(seed, cfg, partitions)
+		if err != nil {
+			return nil, "", err
+		}
+		if res.Trace == nil || res.Trace.Len() == 0 {
+			t.Fatalf("seed %d × %d partitions: empty trace", seed, partitions)
+		}
+		if res.Trace.Truncated != 0 {
+			t.Fatalf("seed %d × %d partitions: trace truncated (%d dropped) — capacity estimate too small",
+				seed, partitions, res.Trace.Truncated)
+		}
+		return res, res.Report() + "\n" + string(res.Trace.Encode()), nil
+	}
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	sweep := []int{1, 2, 8}
+	var ref []string
+	for _, procs := range sweep {
+		runtime.GOMAXPROCS(procs)
+		_, reports, err := determinismSweep(7, 3, []int{1, 2, 4}, run)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		if ref == nil {
+			ref = reports
+			continue
+		}
+		for i := range reports {
+			if reports[i] != ref[i] {
+				t.Fatalf("GOMAXPROCS=%d: trace+report diverged from GOMAXPROCS=%d reference at seed index %d", procs, sweep[0], i)
+			}
+		}
+	}
+}
+
+// The E13 divergence-diagnosis gate: two same-seed runs never
+// diverge, while a perturbed-seed pair yields a concrete (time,
+// component, kind) triple. The perturbed pair runs the random-regular
+// topology, where the seed shapes the call graph (the ring preset's
+// behaviour is deliberately seed-invariant: fixed latency, zero
+// dispatch jitter).
+func TestTraceFirstDivergenceOnMeshRuns(t *testing.T) {
+	cfg := quickTraceConfig()
+	a, err := RunMesh(11, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMesh(11, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := trace.FirstDivergence(a.Trace, b.Trace); d != nil {
+		t.Fatalf("same-seed runs diverged: %s", d)
+	}
+
+	rr := cfg
+	rr.Topology = scenario.RandomRegular
+	x, err := RunMesh(11, rr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := RunMesh(12, rr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := trace.FirstDivergence(x.Trace, y.Trace)
+	if d == nil {
+		t.Fatal("perturbed-seed runs produced identical traces — the trace carries no behaviour")
+	}
+	if d.Component() == "" || d.Kind() == "" {
+		t.Fatalf("divergence lacks a concrete (time, component, kind) triple: %s", d)
+	}
+	t.Logf("perturbed-seed divergence: t=%v component=%s kind=%s", d.Time(), d.Component(), d.Kind())
+}
+
+// A failing gate must localize the divergence instead of dumping two
+// reports: divergenceError consults the traces.
+func TestGateDivergenceErrorNamesFirstEvent(t *testing.T) {
+	cfg := quickTraceConfig()
+	cfg.Topology = scenario.RandomRegular
+	a, err := RunMesh(21, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMesh(22, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateErr := divergenceError(21, 2, a, a.Report(), b, b.Report())
+	msg := gateErr.Error()
+	if d := trace.FirstDivergence(a.Trace, b.Trace); d != nil {
+		for _, want := range []string{"first divergent event", d.Component(), d.Kind()} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("gate error %q does not name %q", msg, want)
+			}
+		}
+	} else {
+		t.Fatal("different seeds produced identical traces")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/simnet"
 	"repro/internal/someip"
+	"repro/internal/trace"
 )
 
 // Wire constants of the compiled client/server world. They are part of
@@ -65,6 +66,9 @@ type World struct {
 	cluster *simnet.Cluster
 	single  *des.Kernel
 	net     *simnet.Network
+	// recorders hold one trace recorder per kernel (a single entry on
+	// the classic substrate, one per partition under a federation).
+	recorders []*trace.Recorder
 }
 
 // Build compiles the spec into a runnable world. Partitions ≤ 1
@@ -155,8 +159,28 @@ func Build(spec Spec) (*World, error) {
 	return w, nil
 }
 
-// buildSubstrate creates the kernel(s), the network (or cluster) and
-// the platform hosts.
+// traceCapacity bounds the trace ring for one run: every client call
+// yields exactly one call (or call-err) record plus at most one serve
+// record, every noise delivery one record, plus slack for reborn
+// clients. Complete traces are a determinism requirement (eviction is
+// mode-dependent), so the estimate is computed from the actual
+// generated edges — Degree alone undercounts the Full shape, whose
+// clients call all n-1 peers — and errs high.
+func (w *World) traceCapacity() int {
+	spec := w.Spec
+	rounds := spec.Rounds
+	if spec.Crash != nil && spec.Crash.RebornRounds > rounds {
+		rounds = spec.Crash.RebornRounds
+	}
+	targets := 0
+	for _, edges := range w.Edges {
+		targets += len(edges)
+	}
+	return 4*rounds*targets + spec.Platforms*spec.NoiseEvents + 256
+}
+
+// buildSubstrate creates the kernel(s), the network (or cluster), the
+// per-kernel trace recorders and the platform hosts.
 func (w *World) buildSubstrate() error {
 	spec := w.Spec
 	netCfg := simnet.Config{
@@ -166,6 +190,9 @@ func (w *World) buildSubstrate() error {
 	}
 	if spec.Partitions <= 1 {
 		w.single = des.NewKernel(spec.Seed)
+		rec := trace.NewRecorder(w.traceCapacity())
+		w.single.SetTracer(rec)
+		w.recorders = []*trace.Recorder{rec}
 		w.net = simnet.NewNetwork(w.single, netCfg)
 		for i := 0; i < spec.Platforms; i++ {
 			w.Hosts = append(w.Hosts, w.net.AddHost(HostName(i), nil))
@@ -173,6 +200,11 @@ func (w *World) buildSubstrate() error {
 		return nil
 	}
 	w.fed = des.NewFederation(spec.Seed, spec.Partitions)
+	for i := 0; i < w.fed.Partitions(); i++ {
+		rec := trace.NewRecorder(w.traceCapacity())
+		w.fed.Kernel(i).SetTracer(rec)
+		w.recorders = append(w.recorders, rec)
+	}
 	cluster, err := simnet.NewCluster(w.fed, netCfg)
 	if err != nil {
 		return err
@@ -219,6 +251,8 @@ func (w *World) buildServer(i int, name string) (*ara.Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	k := rt.Kernel()
+	serveLabel := HostName(i) + ".server"
 	if err := sk.Handle("compute", func(c *ara.Ctx, args []byte) ([]byte, error) {
 		rows[i].Served++
 		h := fnvOffset
@@ -234,11 +268,14 @@ func (w *World) buildServer(i int, name string) (*ara.Runtime, error) {
 		}
 		var out [8]byte
 		binary.BigEndian.PutUint64(out[:], h)
+		// The trace point sits at computation completion: time and
+		// result are mode-independent, and the per-component sequence
+		// follows the platform's deterministic serve order.
+		k.Trace(serveLabel, trace.KindServe, out[:])
 		return out[:], nil
 	}); err != nil {
 		return nil, err
 	}
-	k := rt.Kernel()
 	if k.Now() == 0 {
 		k.At(0, func() { sk.Offer() })
 	} else {
@@ -248,6 +285,7 @@ func (w *World) buildServer(i int, name string) (*ara.Runtime, error) {
 	// Local noise sink: dense intra-platform load, hashed into the
 	// report so all modes must schedule it identically.
 	sink := host.MustBind(NoisePort)
+	noiseLabel := HostName(i) + ".noise"
 	if rows[i].NoiseHash == 0 {
 		rows[i].NoiseHash = fnvOffset
 	}
@@ -257,6 +295,9 @@ func (w *World) buildServer(i int, name string) (*ara.Runtime, error) {
 		h = fnvMix(h, uint64(k.Now()))
 		h = fnvMix(h, uint64(binary.BigEndian.Uint32(dg.Payload)))
 		rows[i].NoiseHash = h
+		// Noise deliveries carry the seeded local-load timing; tracing
+		// them makes the trace as seed-sensitive as the report.
+		k.Trace(noiseLabel, trace.KindNoise, dg.Payload)
 	})
 	return rt, nil
 }
@@ -297,6 +338,8 @@ func (w *World) spawnClient(rt *ara.Runtime, i, rounds int, marker uint64) {
 	if rows[i].RespHash == 0 {
 		rows[i].RespHash = fnvOffset
 	}
+	k := rt.Kernel()
+	callLabel := HostName(i) + ".client"
 	rt.Spawn("client", func(c *ara.Ctx) {
 		c.Exec(phase)
 		var req [12]byte
@@ -331,9 +374,11 @@ func (w *World) spawnClient(rt *ara.Runtime, i, rounds int, marker uint64) {
 					h = fnvMix(h, uint64(targets[t]))
 					h = fnvMix(h, uint64(round))
 					rows[i].RespHash = h
+					k.Trace(callLabel, trace.KindCallErr, req[:])
 					continue
 				}
 				rtt := int64(c.Now() - t0)
+				k.Trace(callLabel, trace.KindCall, resp)
 				rows[i].Calls++
 				h := rows[i].RespHash
 				h = fnvMix(h, marker)
@@ -371,6 +416,15 @@ func (w *World) Describe() string {
 		panic(err)
 	}
 	return d
+}
+
+// Trace merges the per-kernel recorders into the canonical logical
+// event trace of the run. The trace is mode-independent: byte-
+// identical (after encoding) for every partition count and GOMAXPROCS
+// value, like the canonical report — the trace property tests pin
+// this. Call it after Run.
+func (w *World) Trace() *trace.Trace {
+	return trace.Merge(w.recorders...)
 }
 
 // Partitions returns the number of partition kernels executing the

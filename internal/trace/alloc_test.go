@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+)
+
+// The recorder rides the hot path of every traced kernel, so the
+// digest-only record path must not allocate: ring slots are
+// preallocated and recycled (the AtTransient free-list discipline),
+// the digest is computed in place, and the per-component sequence map
+// only allocates on first sight of a component.
+func TestTraceRecordZeroAllocs(t *testing.T) {
+	r := NewRecorder(1 << 12)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	// Prime the per-component sequence entry.
+	r.TraceEvent(0, "plat00.client", KindCall, payload)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.TraceEvent(1, "plat00.client", KindCall, payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("TraceEvent allocates %.1f objects/op, want 0", allocs)
+	}
+	// Wrap-around (slot recycling) must stay alloc-free too.
+	allocs = testing.AllocsPerRun(1<<13, func() {
+		r.TraceEvent(2, "plat00.client", KindServe, payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("TraceEvent allocates %.1f objects/op after wrap, want 0", allocs)
+	}
+}
+
+// BenchmarkTraceRecord is the recorder hot-path gate: 0 allocs/op.
+func BenchmarkTraceRecord(b *testing.B) {
+	r := NewRecorder(1 << 14)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	r.TraceEvent(0, "plat00.client", KindCall, payload)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TraceEvent(logical.Time(i), "plat00.client", KindCall, payload)
+	}
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/logical"
+)
+
+// Binary trace file layout (all integers big-endian):
+//
+//	magic "DTRC" | version u8 | truncated u64 | count u32 | records...
+//
+// each record:
+//
+//	time i64 | seq u64 | digest u64 |
+//	len(component) u16 | component | len(kind) u16 | kind |
+//	len(src) u16 | src | hasData u8 [| len(data) u32 | data]
+//
+// The encoding is a pure function of the record sequence: two traces
+// encode identically iff they are identical, which is what lets the
+// mode-independence property tests compare traces as byte strings.
+const (
+	traceMagic   = "DTRC"
+	traceVersion = 1
+)
+
+// ErrBadTrace reports a malformed or truncated binary trace.
+var ErrBadTrace = fmt.Errorf("trace: malformed trace encoding")
+
+func putString(buf []byte, s string) []byte {
+	if len(s) > 0xffff {
+		// Silent truncation would break "identical encodings iff
+		// identical traces"; no sane component/kind/src label comes
+		// within orders of magnitude of the limit.
+		panic(fmt.Sprintf("trace: string field of %d bytes exceeds the encoding limit (65535)", len(s)))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// Encode renders the trace in the deterministic binary format.
+func (t *Trace) Encode() []byte {
+	buf := make([]byte, 0, 64+len(t.Records)*48)
+	buf = append(buf, traceMagic...)
+	buf = append(buf, traceVersion)
+	buf = binary.BigEndian.AppendUint64(buf, t.Truncated)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.Records)))
+	for i := range t.Records {
+		r := &t.Records[i]
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.Time))
+		buf = binary.BigEndian.AppendUint64(buf, r.Seq)
+		buf = binary.BigEndian.AppendUint64(buf, r.Digest)
+		buf = putString(buf, r.Component)
+		buf = putString(buf, r.Kind)
+		buf = putString(buf, r.Src)
+		if r.Data == nil {
+			buf = append(buf, 0)
+		} else {
+			buf = append(buf, 1)
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Data)))
+			buf = append(buf, r.Data...)
+		}
+	}
+	return buf
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		if d.err == nil {
+			d.err = ErrBadTrace
+		}
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) str() string { return string(d.take(int(d.u16()))) }
+
+// Decode parses a binary trace produced by Encode.
+func Decode(data []byte) (*Trace, error) {
+	d := &decoder{buf: data}
+	if string(d.take(len(traceMagic))) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if v := d.u8(); v != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	t := &Trace{Truncated: d.u64()}
+	count := int(d.u32())
+	for i := 0; i < count && d.err == nil; i++ {
+		var r Record
+		r.Time = logical.Time(d.u64())
+		r.Seq = d.u64()
+		r.Digest = d.u64()
+		r.Component = d.str()
+		r.Kind = d.str()
+		r.Src = d.str()
+		if d.u8() != 0 {
+			n := int(d.u32())
+			if b := d.take(n); b != nil {
+				r.Data = append([]byte(nil), b...)
+			}
+		}
+		t.Records = append(t.Records, r)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadTrace, len(data)-d.off)
+	}
+	return t, nil
+}
+
+// EncodeJSON renders the trace as indented JSON (stored input bytes
+// appear base64-encoded, per encoding/json's []byte convention).
+func (t *Trace) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// DecodeJSON parses a JSON trace produced by EncodeJSON.
+func DecodeJSON(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trace: parsing JSON trace: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteFile persists the trace to path in the binary format.
+func WriteFile(path string, t *Trace) error {
+	if err := os.WriteFile(path, t.Encode(), 0o644); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile loads a binary trace file written by WriteFile.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading %s: %w", path, err)
+	}
+	return Decode(data)
+}
