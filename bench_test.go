@@ -322,6 +322,40 @@ func BenchmarkFederationScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkCityScale is the E14 throughput study: one iteration = one
+// 5000-platform city scenario run federated over 4 partitions, with
+// the byte-equality gate against the single-kernel reference riding
+// along on every iteration. The headline metric is messages/sec/core:
+// delivered datagrams per wall-clock second, normalized by the cores
+// the federation could use — the figure the city-scale acceptance
+// criterion tracks. cmd/experiments -bench-json mirrors this benchmark
+// to emit BENCH_city.json.
+func BenchmarkCityScale(b *testing.B) {
+	cfg := exp.CityConfig{Platforms: exp.DefaultCityPlatforms, Rounds: 2, Partitions: 4, Seed: 1}
+	single := cfg
+	single.Partitions = 1
+	ref, err := exp.RunScenario(exp.CitySpec(single))
+	if err != nil {
+		b.Fatal(err)
+	}
+	refReport := ref.Report()
+	var last *exp.CityScaleResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunCityScale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Result.Report() != refReport {
+			b.Fatal("E14 determinism gate failed: federated city report diverged from single-kernel report")
+		}
+		last = res
+	}
+	b.ReportMetric(last.MsgPerSecPerCore, "msg/sec/core")
+	b.ReportMetric(float64(last.Messages), "messages/op")
+	b.ReportMetric(float64(last.Result.CtrlFanout), "ctrl-fanout/op")
+}
+
 // BenchmarkFaults measures E11: the federated mesh under the full fault
 // schedule — counter-based drops, a loss window, a partition window,
 // jitter bursts and a crash/restart — including the per-packet fault

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/logical"
+	"repro/internal/trace"
+)
+
+// The -bench-json mode runs the performance benchmark suite
+// programmatically (testing.Benchmark over the same workloads as the
+// go-test benchmarks it mirrors) and writes a machine-readable summary
+// — the file CI publishes as BENCH_city.json and the repo commits as a
+// reference point. Wall-clock figures are machine-dependent; the
+// byte-equality gates inside each workload are not, and a gate failure
+// aborts the run with a nonzero exit.
+
+// benchResult is one benchmark's machine-readable summary line.
+type benchResult struct {
+	// Name identifies the mirrored benchmark (and sub-case).
+	Name string `json:"name"`
+	// Iterations is the b.N testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"nsPerOp"`
+	// AllocsPerOp is heap allocations per iteration.
+	AllocsPerOp int64 `json:"allocsPerOp"`
+	// BytesPerOp is heap bytes per iteration.
+	BytesPerOp int64 `json:"bytesPerOp"`
+	// Metrics carries the benchmark's custom b.ReportMetric figures
+	// (msg/sec/core, events/op, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchFile is the top-level JSON document -bench-json writes.
+type benchFile struct {
+	// GoVersion and GOMAXPROCS qualify the machine-dependent numbers.
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Benchmarks lists every suite entry in run order.
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// summarize folds a testing.BenchmarkResult into the JSON shape.
+func summarize(name string, r testing.BenchmarkResult) benchResult {
+	out := benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		out.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			out.Metrics[k] = v
+		}
+	}
+	return out
+}
+
+// runBenchJSON executes the suite and writes the JSON document to path.
+func runBenchJSON(path string, quick bool) {
+	cityN := exp.DefaultCityPlatforms
+	if quick {
+		cityN = 800
+	}
+	var results []benchResult
+
+	// Mirrors BenchmarkCityScale (bench_test.go): one iteration = one
+	// city run federated over 4 partitions, byte-equality-gated against
+	// the single-kernel reference.
+	cfg := exp.CityConfig{Platforms: cityN, Rounds: 2, Partitions: 4, Seed: 1}
+	single := cfg
+	single.Partitions = 1
+	ref, err := exp.RunScenario(exp.CitySpec(single))
+	if err != nil {
+		log.Fatal(err)
+	}
+	refReport := ref.Report()
+	results = append(results, summarize("CityScale", testing.Benchmark(func(b *testing.B) {
+		var last *exp.CityScaleResult
+		for i := 0; i < b.N; i++ {
+			res, err := exp.RunCityScale(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Result.Report() != refReport {
+				b.Fatal("E14 determinism gate failed in -bench-json")
+			}
+			last = res
+		}
+		b.ReportMetric(last.MsgPerSecPerCore, "msg/sec/core")
+		b.ReportMetric(float64(last.Messages), "messages/op")
+		b.ReportMetric(float64(last.Result.CtrlFanout), "ctrl-fanout/op")
+	})))
+
+	// Mirrors BenchmarkFederationScaling (bench_test.go): the E10 mesh
+	// single-kernel and sharded over 2/4/8 federated kernels.
+	meshCfg := exp.DefaultMeshConfig(16)
+	meshCfg.Rounds = 10
+	meshCfg.NoiseEvents = 3000
+	meshCfg.NoiseInterval = 20 * logical.Microsecond
+	meshCfg.LinkLatency = 2 * logical.Millisecond
+	meshRef, err := exp.RunMesh(1, meshCfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meshRefReport := meshRef.Report()
+	for _, parts := range []int{1, 2, 4, 8} {
+		parts := parts
+		name := fmt.Sprintf("FederationScaling/partitions-%d", parts)
+		results = append(results, summarize(name, testing.Benchmark(func(b *testing.B) {
+			var events, rounds uint64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunMesh(1, meshCfg, parts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Report() != meshRefReport {
+					b.Fatal("E10 determinism gate failed in -bench-json")
+				}
+				events = res.EventsFired
+				rounds = res.CoordRounds
+			}
+			b.ReportMetric(float64(events), "events/op")
+			b.ReportMetric(float64(rounds), "sync-rounds/op")
+		})))
+	}
+
+	// Mirrors BenchmarkTraceRecord (internal/trace): the recorder
+	// hot-path gate — digest-only record, 0 allocs/op.
+	results = append(results, summarize("TraceRecord", testing.Benchmark(func(b *testing.B) {
+		r := trace.NewRecorder(1 << 14)
+		payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		r.TraceEvent(0, "plat00.client", trace.KindCall, payload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.TraceEvent(logical.Time(i), "plat00.client", trace.KindCall, payload)
+		}
+	})))
+
+	doc := benchFile{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-32s %8d iter  %14.0f ns/op  %6d allocs/op", r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp)
+		if v, ok := r.Metrics["msg/sec/core"]; ok {
+			fmt.Printf("  %10.0f msg/sec/core", v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("wrote %s\n", path)
+}

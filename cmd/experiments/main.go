@@ -7,6 +7,7 @@
 //	experiments [-quick] [-list] [-only <name>] [-scenario <file.json>]
 //	experiments [-quick] -trace <file>
 //	experiments -replay <file>
+//	experiments [-quick] -bench-json <file>
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
 // shrinks workloads ~20×. -list prints the experiment registry and
@@ -17,8 +18,12 @@
 // trace to a file; -replay re-executes a recorded trace inside the
 // deterministic simulator and exits nonzero if the replayed outputs
 // diverge from the recorded ones (E13). -trace and -replay are
-// mutually exclusive. All experiments except loopback and replay are
-// deterministic; those two use real UDP sockets and wall-clock time.
+// mutually exclusive. -bench-json runs the performance benchmark suite
+// (city scale, federation scaling, trace recording) and writes a
+// machine-readable JSON summary — the BENCH_city.json CI artifact. All
+// experiments except loopback, replay and the wall-clock benchmark
+// figures are deterministic; those use real UDP sockets and/or
+// wall-clock time.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	scenarioFile := flag.String("scenario", "", "compile and run a declarative JSON scenario spec")
 	traceFile := flag.String("trace", "", "record a live loopback run and write its trace to this file")
 	replayFile := flag.String("replay", "", "replay a recorded trace file in the simulator and verify outputs")
+	benchJSON := flag.String("bench-json", "", "run the benchmark suite and write machine-readable results to this file")
 	flag.Parse()
 
 	f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames := 20000, 20, 100000, 20000, 3, 5000
@@ -239,6 +245,29 @@ func main() {
 			fmt.Println("replayed outputs byte-identical to the recorded physical run (E13): the application is a pure function of its tagged inputs")
 		}},
 
+		{"city", "E14: city-scale scenario — throughput and byte-equality at N=5000", func() {
+			cityN, cityRounds := 5000, 2
+			if *quick {
+				cityN = 800
+			}
+			cfg := exp.CityConfig{Platforms: cityN, Rounds: cityRounds, Partitions: 4, Seed: 1}
+			res, err := exp.RunCityScale(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.PerfReport())
+			parts := []int{1, 4, 16}
+			if *quick {
+				parts = []int{1, 4}
+			}
+			if _, err := exp.RunCityDeterminismCheck(1, 2, cfg, parts); err != nil {
+				log.Fatalf("E14 determinism gate FAILED: %v", err)
+			}
+			fmt.Printf("E14 determinism gate: byte-identical reports across 2 seeds × partitions %v at %d platforms\n",
+				parts, cityN)
+			fmt.Println("interest-based SD keeps the control plane sub-quadratic; the report is one fixed-size row per platform")
+		}},
+
 		{"topo", "E12: topology sweep (star/ring/tree/random-regular × partitions)", func() {
 			res, err := exp.RunTopologySweep(1, topoCfg)
 			if err != nil {
@@ -270,6 +299,14 @@ func main() {
 	if (*traceFile != "" || *replayFile != "") && (*only != "" || *scenarioFile != "") {
 		fmt.Fprintln(os.Stderr, "experiments: -trace/-replay replace the registry and are mutually exclusive with -only and -scenario")
 		os.Exit(2)
+	}
+	if *benchJSON != "" {
+		if *only != "" || *scenarioFile != "" || *traceFile != "" || *replayFile != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -bench-json replaces the registry and is mutually exclusive with -only, -scenario, -trace and -replay")
+			os.Exit(2)
+		}
+		runBenchJSON(*benchJSON, *quick)
+		return
 	}
 	if *traceFile != "" {
 		n := 200

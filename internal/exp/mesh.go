@@ -74,6 +74,13 @@ type MeshResult struct {
 	Delivered uint64
 	// Dropped counts dropped datagrams (mode-dependent).
 	Dropped uint64
+	// CtrlSends counts multicast/topic send operations on the substrate
+	// (mode-dependent).
+	CtrlSends uint64
+	// CtrlFanout counts datagrams fanned out through multicast/topic
+	// membership lists (mode-dependent); the E14 city gate tracks its
+	// growth against the platform count.
+	CtrlFanout uint64
 }
 
 // Report renders the canonical, mode-independent report: two runs are
@@ -117,6 +124,7 @@ func RunScenario(spec scenario.Spec) (*MeshResult, error) {
 		return nil, err
 	}
 	w.Run()
+	ctrlSends, ctrlFanout := w.ControlPlane()
 	return &MeshResult{
 		Seed:        w.Spec.Seed,
 		Config:      w.Spec,
@@ -127,6 +135,8 @@ func RunScenario(spec scenario.Spec) (*MeshResult, error) {
 		EventsFired: w.EventsFired(),
 		Delivered:   w.Delivered(),
 		Dropped:     w.Dropped(),
+		CtrlSends:   ctrlSends,
+		CtrlFanout:  ctrlFanout,
 	}, nil
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package exp
+
+// raceDetectorEnabled reports whether the binary was built with the
+// race detector; tests use it to trim workload scale (never logic)
+// under the ~10× race-instrumentation slowdown.
+const raceDetectorEnabled = false

@@ -10,31 +10,36 @@ import (
 	"strings"
 )
 
-// Stream accumulates streaming statistics (Welford's algorithm) plus the
-// raw samples for exact quantiles.
+// Stream accumulates streaming statistics: moments via Welford's
+// algorithm plus (optionally) a deterministic quantile Sketch. Memory
+// is O(bins) regardless of how many samples are added — no sample is
+// ever retained — which is what lets city-scale runs (millions of
+// messages) keep bounded memory.
 type Stream struct {
-	n       int
-	mean    float64
-	m2      float64
-	min     float64
-	max     float64
-	samples []float64
-	keep    bool
-	// sorted caches the sorted samples for Quantile; it is invalidated by
-	// Add. Experiment reports query several quantiles per stream, and
-	// re-sorting the full sample slice per call dominated report time.
-	sorted []float64
-	dirty  bool
+	n      int
+	mean   float64
+	m2     float64
+	min    float64
+	max    float64
+	sketch *Sketch
 }
 
-// NewStream returns a stream that keeps raw samples (exact quantiles).
-func NewStream() *Stream { return &Stream{keep: true} }
+// NewStream returns a stream with quantile support backed by a
+// deterministic log-bucketed Sketch. Quantiles are bin-snapped (within
+// one bin-width of the exact sorted quantile, ~3% relative); memory is
+// O(bins), not O(samples).
+func NewStream() *Stream { return &Stream{sketch: NewSketch()} }
 
-// NewMomentsOnly returns a stream without sample retention.
+// NewMomentsOnly returns a stream without quantile support (moments,
+// min and max only; Quantile reports NaN).
 func NewMomentsOnly() *Stream { return &Stream{} }
 
-// Add records a sample.
+// Add records a sample. Negative zero is normalized to zero so that
+// min/max render identically under any Add order.
 func (s *Stream) Add(x float64) {
+	if x == 0 {
+		x = 0
+	}
 	s.n++
 	if s.n == 1 {
 		s.min, s.max = x, x
@@ -49,9 +54,8 @@ func (s *Stream) Add(x float64) {
 	d := x - s.mean
 	s.mean += d / float64(s.n)
 	s.m2 += d * (x - s.mean)
-	if s.keep {
-		s.samples = append(s.samples, x)
-		s.dirty = true
+	if s.sketch != nil {
+		s.sketch.Add(x)
 	}
 }
 
@@ -78,41 +82,66 @@ func (s *Stream) Min() float64 { return s.min }
 // Max returns the largest sample.
 func (s *Stream) Max() float64 { return s.max }
 
-// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
-// Requires sample retention. The sorted order is computed once and cached
-// until the next Add, so querying several quantiles costs one sort.
+// Quantile returns the bin-snapped q-quantile (0 <= q <= 1) from the
+// stream's Sketch: the midpoint of the sketch bin containing the
+// requested order statistic, within one bin-width of the exact sorted
+// quantile. q <= 0 and q >= 1 return the exact min and max. Streams
+// built with NewMomentsOnly (and empty streams) report NaN.
 func (s *Stream) Quantile(q float64) float64 {
-	if !s.keep || s.n == 0 {
+	if s.sketch == nil || s.n == 0 {
 		return math.NaN()
 	}
-	if s.dirty || s.sorted == nil {
-		s.sorted = append(s.sorted[:0], s.samples...)
-		sort.Float64s(s.sorted)
-		s.dirty = false
+	return s.sketch.Quantile(q)
+}
+
+// Sketch returns the stream's quantile sketch (nil for NewMomentsOnly
+// streams), e.g. for merging partition-local streams into a global one.
+func (s *Stream) Sketch() *Sketch { return s.sketch }
+
+// Merge folds other into s. Moments are combined with the pairwise
+// (Chan et al.) update; sketches merge bin-wise. Note the moment fold
+// is associative only up to floating-point rounding — byte-stable
+// aggregation across partitions must rely on the sketch (integer
+// counts) and on min/max/n, which merge exactly.
+func (s *Stream) Merge(other *Stream) {
+	if other.n == 0 {
+		return
 	}
-	sorted := s.sorted
-	if q <= 0 {
-		return sorted[0]
+	if s.n == 0 {
+		s.min, s.max = other.min, other.max
+	} else {
+		if other.min < s.min {
+			s.min = other.min
+		}
+		if other.max > s.max {
+			s.max = other.max
+		}
 	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
+	d := other.mean - s.mean
+	tot := s.n + other.n
+	s.m2 += other.m2 + d*d*float64(s.n)*float64(other.n)/float64(tot)
+	s.mean += d * float64(other.n) / float64(tot)
+	s.n = tot
+	if s.sketch != nil && other.sketch != nil {
+		s.sketch.Merge(other.sketch)
 	}
-	pos := q * float64(len(sorted)-1)
-	lo := int(pos)
-	frac := pos - float64(lo)
-	if lo+1 >= len(sorted) {
-		return sorted[lo]
-	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // Histogram is a fixed-bucket histogram over [Lo, Hi).
 type Histogram struct {
-	Lo, Hi  float64
+	// Lo and Hi bound the bucketed range; samples below Lo or at/above
+	// Hi are counted out-of-range.
+	Lo, Hi float64
+	// Buckets holds the per-bucket counts.
 	Buckets []int
 	under   int
 	over    int
 	n       int
+	// edges[i] is the left boundary of bucket i (edges[len(Buckets)] ==
+	// Hi). Precomputed so Add can bucket by binary search over the exact
+	// boundary values instead of a float multiply that can mis-bucket
+	// samples landing exactly on an edge.
+	edges []float64
 }
 
 // NewHistogram creates a histogram with the given bucket count.
@@ -120,10 +149,26 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 	if hi <= lo || buckets <= 0 {
 		panic("metrics: invalid histogram bounds")
 	}
-	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, buckets)}
+	h := &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, buckets)}
+	h.initEdges()
+	return h
 }
 
-// Add records a sample.
+// initEdges precomputes bucket boundaries from Lo/Hi/len(Buckets).
+func (h *Histogram) initEdges() {
+	n := len(h.Buckets)
+	h.edges = make([]float64, n+1)
+	h.edges[0] = h.Lo
+	for i := 1; i < n; i++ {
+		h.edges[i] = h.Lo + (h.Hi-h.Lo)*float64(i)/float64(n)
+	}
+	h.edges[n] = h.Hi
+}
+
+// Add records a sample. A sample exactly on a bucket boundary lands in
+// the bucket whose range starts there (buckets are half-open
+// [edge[i], edge[i+1])), determined by comparison against the
+// precomputed edge values — never by a rounded float multiply.
 func (h *Histogram) Add(x float64) {
 	h.n++
 	switch {
@@ -132,7 +177,16 @@ func (h *Histogram) Add(x float64) {
 	case x >= h.Hi:
 		h.over++
 	default:
-		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if h.edges == nil {
+			// Histogram built as a literal rather than via NewHistogram.
+			h.initEdges()
+		}
+		// Smallest i with edges[i] > x; x then lies in bucket i-1.
+		idx := sort.SearchFloat64s(h.edges, x)
+		if idx < len(h.edges) && h.edges[idx] == x {
+			idx++
+		}
+		idx--
 		if idx >= len(h.Buckets) {
 			idx = len(h.Buckets) - 1
 		}

@@ -471,3 +471,16 @@ func (w *World) Dropped() uint64 {
 	}
 	return w.net.Dropped()
 }
+
+// ControlPlane returns the substrate's control-plane counters (see
+// simnet.Network.ControlPlane): multicast/topic send calls and their
+// total fan-out. With interest-based SD routing the fan-out grows with
+// declared interest rather than platforms², which is what the
+// city-scale acceptance gate measures. Mode-dependent (fan-out is
+// per-partition).
+func (w *World) ControlPlane() (sends, fanout uint64) {
+	if w.cluster != nil {
+		return w.cluster.ControlPlane()
+	}
+	return w.net.ControlPlane()
+}

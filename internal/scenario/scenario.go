@@ -165,6 +165,33 @@ func MeshPreset(n int) Spec {
 	}
 }
 
+// CityPreset returns the E14 city-scale scenario for n platforms: a
+// ring of degree min(3, n-1) with a lean workload mix sized so that
+// thousands of platforms stay tractable under the byte-equality gate.
+// Against MeshPreset it drops the local-noise generator (its event
+// count is what dominates at scale, without adding cross-platform
+// interaction) and trims the round count; every remaining statistic in
+// the canonical report is a fixed-size per-platform fold, so report
+// memory is O(platforms) no matter how many messages flow.
+func CityPreset(n int) Spec {
+	k := 3
+	if k > n-1 {
+		k = n - 1
+	}
+	return Spec{
+		Name:        "city",
+		Platforms:   n,
+		Topology:    Ring,
+		Degree:      k,
+		Rounds:      4,
+		Gap:         500 * logical.Microsecond,
+		WorkBase:    10 * logical.Microsecond,
+		WorkSpread:  40 * logical.Microsecond,
+		LinkLatency: 200 * logical.Microsecond,
+		SwitchDelay: 10 * logical.Microsecond,
+	}
+}
+
 // TopologyPreset returns the E12 sweep scenario: the E10 workload mix
 // on the given topology shape.
 func TopologyPreset(shape Shape, n int) Spec {

@@ -172,6 +172,19 @@ func (c *Cluster) Delivered() uint64 {
 	return n
 }
 
+// ControlPlane sums the partitions' control-plane counters (see
+// Network.ControlPlane): multicast/topic send calls and the datagrams
+// they fanned out. Fan-out is per-partition, so each fanned-out
+// datagram is counted once, by the sender's partition.
+func (c *Cluster) ControlPlane() (sends, fanout uint64) {
+	for _, p := range c.parts {
+		s, f := p.ControlPlane()
+		sends += s
+		fanout += f
+	}
+	return sends, fanout
+}
+
 // Dropped sums dropped datagrams across all partitions.
 func (c *Cluster) Dropped() uint64 {
 	var n uint64

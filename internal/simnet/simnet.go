@@ -155,6 +155,18 @@ type Network struct {
 	delivered uint64
 	dropped   uint64
 	groups    map[Addr][]*Endpoint
+	// topics holds interest-based subscription lists: endpoints that
+	// registered interest in a (group, topic) pair, in join order.
+	// SendTopic fans out only to these members, replacing all-pairs
+	// multicast for the SD control plane (O(platforms²) at startup)
+	// with fan-out proportional to actual interest.
+	topics map[topicKey][]*Endpoint
+	// ctrlSends counts multicast/topic send calls; ctrlFanout counts
+	// the datagrams those sends fanned out to members. Together they
+	// measure the control-plane load (the quantity the city-scale
+	// acceptance gate requires to be sub-quadratic in platforms).
+	ctrlSends  uint64
+	ctrlFanout uint64
 	// router, when set, takes over datagrams addressed to hosts this
 	// Network does not own. A federated Cluster installs one per partition
 	// to forward cross-partition traffic through timestamped channels.
@@ -198,6 +210,7 @@ func NewNetwork(k *des.Kernel, cfg Config) *Network {
 		faultSeed:    k.Rand("simnet.fault").Uint64(),
 		linkSeq:      map[[2]uint16]uint64{},
 		groups:       map[Addr][]*Endpoint{},
+		topics:       map[topicKey][]*Endpoint{},
 	}
 	plan := cfg.Faults
 	if cfg.DropRate != 0 {
@@ -261,6 +274,63 @@ func (n *Network) LeaveGroup(group Addr, e *Endpoint) {
 			return
 		}
 	}
+}
+
+// topicKey identifies one interest-based subscription list: a topic
+// number scoped under a multicast group address.
+type topicKey struct {
+	group Addr
+	topic uint64
+}
+
+// JoinTopic registers the endpoint's interest in topic under the
+// multicast group address. SendTopic to that (group, topic) then
+// delivers to the endpoint. Joining is idempotent; members receive in
+// join order, which is the deterministic fan-out order the byte-
+// equality gate relies on (join order is fixed by program structure,
+// identical in single-kernel and federated execution). Panics on a
+// non-multicast group address.
+func (n *Network) JoinTopic(group Addr, topic uint64, e *Endpoint) {
+	if !group.IsMulticast() {
+		panic("simnet: JoinTopic on non-multicast address " + group.String())
+	}
+	k := topicKey{group, topic}
+	for _, m := range n.topics[k] {
+		if m == e {
+			return
+		}
+	}
+	n.topics[k] = append(n.topics[k], e)
+}
+
+// LeaveTopic withdraws the endpoint's interest in topic under group.
+func (n *Network) LeaveTopic(group Addr, topic uint64, e *Endpoint) {
+	k := topicKey{group, topic}
+	members := n.topics[k]
+	for i, m := range members {
+		if m == e {
+			n.topics[k] = append(members[:i:i], members[i+1:]...)
+			if len(n.topics[k]) == 0 {
+				delete(n.topics, k)
+			}
+			return
+		}
+	}
+}
+
+// TopicMembers returns the number of endpoints currently subscribed to
+// the topic under group.
+func (n *Network) TopicMembers(group Addr, topic uint64) int {
+	return len(n.topics[topicKey{group, topic}])
+}
+
+// ControlPlane returns the control-plane load so far: sends is the
+// number of multicast/topic send calls, fanout the total datagrams
+// those sends fanned out to members. With interest-based routing the
+// fanout grows with actual interest, not with the square of the
+// platform count.
+func (n *Network) ControlPlane() (sends, fanout uint64) {
+	return n.ctrlSends, n.ctrlFanout
 }
 
 // Kernel returns the simulation kernel.
@@ -392,10 +462,13 @@ func (h *Host) crashNow() {
 	h.down = true
 	for _, ep := range h.ports {
 		// Map iteration order is irrelevant: closing endpoints and
-		// removing group memberships commute.
+		// removing group/topic memberships commute.
 		ep.closed = true
 		for group := range h.net.groups {
 			h.net.LeaveGroup(group, ep)
+		}
+		for tk := range h.net.topics {
+			h.net.LeaveTopic(tk.group, tk.topic, ep)
 		}
 	}
 	h.ports = map[uint16]*Endpoint{}
@@ -508,34 +581,59 @@ func (e *Endpoint) Send(dst Addr, payload []byte) {
 		return
 	}
 	n := e.host.net
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
-	dg := Datagram{Src: e.addr, Dst: dst, Payload: buf, SentAt: n.k.Now()}
-
 	if dst.IsMulticast() {
-		for _, member := range n.groups[dst] {
-			if member == e {
-				continue
-			}
-			// Each member gets its own payload copy so receivers never
-			// alias one another's buffers. Multicast fan-out is exempt
-			// from the fault plan: it stands in for true Ethernet
-			// multicast (the SD control plane), which the per-link fault
-			// model does not cover — and a federated Cluster fans
-			// multicast out per partition, so faulting it would consume
-			// link counters mode-dependently and break cross-mode
-			// byte-equality. SD is disturbed through host lifecycle
-			// (Crash silences a provider; TTL expiry follows), not
-			// through packet-level faults.
-			mbuf := make([]byte, len(buf))
-			copy(mbuf, buf)
-			n.route(e, Datagram{
-				Src: e.addr, Dst: member.addr, Payload: mbuf, SentAt: dg.SentAt,
-			}, false)
-		}
+		// Fan out straight from the caller's buffer: one copy per
+		// member (no up-front staging copy — the caller's slice is
+		// only read within this call).
+		n.fanout(e, n.groups[dst], payload)
 		return
 	}
-	n.route(e, dg, true)
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	n.route(e, Datagram{Src: e.addr, Dst: dst, Payload: buf, SentAt: n.k.Now()}, true)
+}
+
+// SendTopic delivers the payload to every endpoint subscribed to the
+// (group, topic) pair except the sender, in join order, with one
+// payload copy per member. Like plain multicast, topic fan-out is
+// exempt from the fault plan (see Send) and a federated Cluster fans
+// it out per partition. Sends through closed endpoints or from crashed
+// hosts are suppressed.
+func (e *Endpoint) SendTopic(group Addr, topic uint64, payload []byte) {
+	if e.closed || e.host.down {
+		return
+	}
+	if !group.IsMulticast() {
+		panic("simnet: SendTopic on non-multicast address " + group.String())
+	}
+	n := e.host.net
+	n.fanout(e, n.topics[topicKey{group, topic}], payload)
+}
+
+// fanout routes one copy of payload to every member except the sender.
+// Each member gets its own payload copy so receivers never alias one
+// another's buffers (or the sender's). Multicast/topic fan-out is
+// exempt from the fault plan: it stands in for true Ethernet multicast
+// (the SD control plane), which the per-link fault model does not
+// cover — and a federated Cluster fans multicast out per partition, so
+// faulting it would consume link counters mode-dependently and break
+// cross-mode byte-equality. SD is disturbed through host lifecycle
+// (Crash silences a provider; TTL expiry follows), not through
+// packet-level faults.
+func (n *Network) fanout(e *Endpoint, members []*Endpoint, payload []byte) {
+	n.ctrlSends++
+	at := n.k.Now()
+	for _, member := range members {
+		if member == e {
+			continue
+		}
+		mbuf := make([]byte, len(payload))
+		copy(mbuf, payload)
+		n.ctrlFanout++
+		n.route(e, Datagram{
+			Src: e.addr, Dst: member.addr, Payload: mbuf, SentAt: at,
+		}, false)
+	}
 }
 
 // route schedules one datagram for delivery; faulted selects whether

@@ -30,8 +30,24 @@ type RemoteService struct {
 }
 
 // SDGroup is the simulated stand-in for the SOME/IP-SD multicast address
-// (224.244.224.245:30490 in real deployments).
+// (224.244.224.245:30490 in real deployments). Agents do not join it as
+// a flat group: SD traffic is routed by interest — offers travel on the
+// consumer topic of their service key and finds on the provider topic —
+// so control-plane fan-out grows with actual interest, not with the
+// square of the platform count.
 var SDGroup = simnet.Addr{Host: simnet.MulticastBase + 1, Port: SDPort}
+
+// consumerTopic is the simnet topic carrying offers/stop-offers for a
+// service key; consumers (Find/Monitor/Interest) subscribe to it.
+func consumerTopic(k ServiceKey) uint64 {
+	return uint64(uint16(k.Service))<<16 | uint64(uint16(k.Instance))
+}
+
+// providerTopic is the simnet topic carrying finds for a service key;
+// providers (Offer) subscribe to it.
+func providerTopic(k ServiceKey) uint64 {
+	return 1<<32 | consumerTopic(k)
+}
 
 // AgentConfig tunes SD timing.
 type AgentConfig struct {
@@ -55,6 +71,9 @@ type Agent struct {
 	offers map[ServiceKey]*localOffer
 	remote map[ServiceKey]*remoteEntry
 	watch  map[ServiceKey][]func(RemoteService)
+	// interests tracks the service keys whose consumer topic this agent
+	// has joined (Interest); offers for other keys never reach it.
+	interests map[ServiceKey]bool
 	// monitors are persistent availability watchers (Monitor): unlike
 	// watch entries they survive firing and also observe service loss.
 	monitors map[ServiceKey][]monitor
@@ -97,7 +116,9 @@ type subKey struct {
 }
 
 // NewAgent creates an SD agent for an application on the given host. It
-// binds an SD endpoint and joins the SD multicast group.
+// binds an SD endpoint; SD topic subscriptions are registered lazily as
+// the agent offers services (provider topics) or declares interest in
+// them (consumer topics, implicit in Find/Monitor).
 func NewAgent(host *simnet.Host, cfg AgentConfig) (*Agent, error) {
 	if cfg.CyclicOfferPeriod <= 0 {
 		cfg.CyclicOfferPeriod = logical.Second
@@ -110,20 +131,36 @@ func NewAgent(host *simnet.Host, cfg AgentConfig) (*Agent, error) {
 		return nil, err
 	}
 	a := &Agent{
-		k:        host.Net().Kernel(),
-		conn:     NewConn(ep, false),
-		group:    SDGroup,
-		cfg:      cfg,
-		offers:   map[ServiceKey]*localOffer{},
-		remote:   map[ServiceKey]*remoteEntry{},
-		watch:    map[ServiceKey][]func(RemoteService){},
-		monitors: map[ServiceKey][]monitor{},
-		pending:  map[subKey][]func(ok bool){},
-		active:   map[subKey]bool{},
+		k:         host.Net().Kernel(),
+		conn:      NewConn(ep, false),
+		group:     SDGroup,
+		cfg:       cfg,
+		offers:    map[ServiceKey]*localOffer{},
+		remote:    map[ServiceKey]*remoteEntry{},
+		watch:     map[ServiceKey][]func(RemoteService){},
+		interests: map[ServiceKey]bool{},
+		monitors:  map[ServiceKey][]monitor{},
+		pending:   map[subKey][]func(ok bool){},
+		active:    map[subKey]bool{},
 	}
-	host.Net().JoinGroup(SDGroup, ep)
 	a.conn.OnMessage(a.handle)
 	return a, nil
+}
+
+// Interest declares this agent's interest in a service key: offers and
+// stop-offers for it are delivered to the agent from now on (joining
+// the key's consumer topic, idempotently). Find and Monitor declare
+// interest implicitly; call Interest directly to passively cache offers
+// for later Lookup without issuing a find. Join order — fixed by
+// program structure — is the deterministic fan-out order, identical in
+// single-kernel and federated execution.
+func (a *Agent) Interest(key ServiceKey) {
+	if a.interests[key] {
+		return
+	}
+	a.interests[key] = true
+	net := a.conn.Endpoint().Host().Net()
+	net.JoinTopic(a.group, consumerTopic(key), a.conn.Endpoint())
 }
 
 // ttlSeconds converts the configured TTL to SD wire seconds (min 1).
@@ -155,15 +192,26 @@ func (a *Agent) send(dst Addr, entries []Entry) {
 	a.conn.Send(dst, NewSDMessage(a.nextSession(), entries))
 }
 
+// sendTopic multicasts SD entries on an interest topic, reaching only
+// the endpoints subscribed to it.
+func (a *Agent) sendTopic(topic uint64, entries []Entry) {
+	m := NewSDMessage(a.nextSession(), entries)
+	a.conn.Endpoint().SendTopic(a.group, topic, m.Marshal())
+}
+
 // Offer announces a local service instance and keeps re-announcing it
-// cyclically until StopOffer.
+// cyclically until StopOffer. The agent joins the key's provider topic
+// (so finds reach it) and announces on the consumer topic (so only
+// interested agents receive the offer).
 func (a *Agent) Offer(key ServiceKey, major uint8, minor uint32, endpoint simnet.Addr) {
 	off := &localOffer{
 		key: key, major: major, minor: minor, endpoint: endpoint,
 		subs: map[uint16][]*subscriber{},
 	}
 	a.offers[key] = off
-	a.announce(off, a.group)
+	net := a.conn.Endpoint().Host().Net()
+	net.JoinTopic(a.group, providerTopic(key), a.conn.Endpoint())
+	a.announceTopic(off)
 	a.scheduleCyclic(off)
 }
 
@@ -175,8 +223,15 @@ func (a *Agent) offerEntry(off *localOffer, ttl uint32) Entry {
 	}
 }
 
+// announce unicasts the current offer to one requester (find replies).
 func (a *Agent) announce(off *localOffer, dst Addr) {
 	a.send(dst, []Entry{a.offerEntry(off, a.ttlSeconds())})
+}
+
+// announceTopic multicasts the current offer on the key's consumer
+// topic, reaching exactly the agents that declared interest.
+func (a *Agent) announceTopic(off *localOffer) {
+	a.sendTopic(consumerTopic(off.key), []Entry{a.offerEntry(off, a.ttlSeconds())})
 }
 
 func (a *Agent) scheduleCyclic(off *localOffer) {
@@ -184,12 +239,13 @@ func (a *Agent) scheduleCyclic(off *localOffer) {
 		if off.stopped {
 			return
 		}
-		a.announce(off, a.group)
+		a.announceTopic(off)
 		a.scheduleCyclic(off)
 	})
 }
 
-// StopOffer withdraws a local service (multicast offer with TTL 0).
+// StopOffer withdraws a local service: it leaves the provider topic and
+// multicasts a TTL-0 offer on the consumer topic.
 func (a *Agent) StopOffer(key ServiceKey) {
 	off, ok := a.offers[key]
 	if !ok {
@@ -197,20 +253,25 @@ func (a *Agent) StopOffer(key ServiceKey) {
 	}
 	off.stopped = true
 	delete(a.offers, key)
-	a.send(a.group, []Entry{a.offerEntry(off, 0)})
+	net := a.conn.Endpoint().Host().Net()
+	net.LeaveTopic(a.group, providerTopic(key), a.conn.Endpoint())
+	a.sendTopic(consumerTopic(key), []Entry{a.offerEntry(off, 0)})
 }
 
-// Find starts discovery for a service instance. The callback fires (as a
-// kernel event) when the service is known — immediately if already
-// cached. It fires again on re-discovery after expiry.
+// Find starts discovery for a service instance, declaring interest in
+// it (see Interest). The callback fires (as a kernel event) when the
+// service is known — immediately if already cached. It fires again on
+// re-discovery after expiry. The find itself travels on the key's
+// provider topic, reaching only agents that offer the service.
 func (a *Agent) Find(key ServiceKey, cb func(RemoteService)) {
+	a.Interest(key)
 	if r, ok := a.remote[key]; ok {
 		svc := r.svc
 		a.k.After(0, func() { cb(svc) })
 		return
 	}
 	a.watch[key] = append(a.watch[key], cb)
-	a.send(a.group, []Entry{{
+	a.sendTopic(providerTopic(key), []Entry{{
 		Type: FindService, Service: key.Service, Instance: key.Instance,
 		Major: 0xff, Minor: 0xffffffff, TTL: a.ttlSeconds(),
 	}})
@@ -223,9 +284,11 @@ func (a *Agent) Find(key ServiceKey, cb func(RemoteService)) {
 // fires when the cached offer expires (TTL) or is withdrawn
 // (stop-offer). A crashed provider sends no stop-offer, so its loss is
 // observed through TTL expiry; when it restarts and re-offers, up fires
-// again and the client can re-bind deterministically. Monitor also
-// multicasts a find so an already-running provider answers immediately.
+// again and the client can re-bind deterministically. Monitor declares
+// interest in the key (see Interest) and sends a find on its provider
+// topic so an already-running provider answers immediately.
 func (a *Agent) Monitor(key ServiceKey, up func(RemoteService), down func()) {
+	a.Interest(key)
 	a.monitors[key] = append(a.monitors[key], monitor{up: up, down: down})
 	if r, ok := a.remote[key]; ok {
 		svc := r.svc
@@ -234,7 +297,7 @@ func (a *Agent) Monitor(key ServiceKey, up func(RemoteService), down func()) {
 		}
 		return
 	}
-	a.send(a.group, []Entry{{
+	a.sendTopic(providerTopic(key), []Entry{{
 		Type: FindService, Service: key.Service, Instance: key.Instance,
 		Major: 0xff, Minor: 0xffffffff, TTL: a.ttlSeconds(),
 	}})

@@ -94,6 +94,9 @@ func TestFindCachedFiresImmediately(t *testing.T) {
 func TestLookup(t *testing.T) {
 	f := newSDFixture(t)
 	appEp := f.h1.MustBind(40000)
+	// Passive caching requires declared interest: without a Find, the
+	// consumer must opt in to the key's offer stream explicitly.
+	f.a2.Interest(testKey)
 	if _, ok := f.a2.Lookup(testKey); ok {
 		t.Error("lookup before offer should miss")
 	}
@@ -108,6 +111,7 @@ func TestLookup(t *testing.T) {
 func TestStopOfferRemovesRemote(t *testing.T) {
 	f := newSDFixture(t)
 	appEp := f.h1.MustBind(40000)
+	f.a2.Interest(testKey)
 	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
 	f.k.Run(logical.Time(10 * logical.Millisecond))
 	if _, ok := f.a2.Lookup(testKey); !ok {
@@ -129,6 +133,7 @@ func TestOfferExpiresWithoutRenewal(t *testing.T) {
 	a1, _ := NewAgent(h1, AgentConfig{CyclicOfferPeriod: 100 * logical.Second, TTL: logical.Second})
 	a2, _ := NewAgent(h2, AgentConfig{})
 	appEp := h1.MustBind(40000)
+	a2.Interest(testKey)
 	k.At(0, func() { a1.Offer(testKey, 1, 0, appEp.Addr()) })
 	k.Run(logical.Time(10 * logical.Millisecond))
 	if _, ok := a2.Lookup(testKey); !ok {
@@ -145,6 +150,7 @@ func TestOfferExpiresWithoutRenewal(t *testing.T) {
 func TestCyclicOfferKeepsAlive(t *testing.T) {
 	f := newSDFixture(t)
 	appEp := f.h1.MustBind(40000)
+	f.a2.Interest(testKey)
 	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
 	// Probe at 5s: default TTL 3s, cyclic 1s — must still be known.
 	probed := false
@@ -281,6 +287,8 @@ func TestTwoServicesIndependent(t *testing.T) {
 	ep1 := f.h1.MustBind(40000)
 	ep2 := f.h1.MustBind(40001)
 	key2 := ServiceKey{Service: 0x5678, Instance: 1}
+	f.a2.Interest(testKey)
+	f.a2.Interest(key2)
 	f.k.At(0, func() {
 		f.a1.Offer(testKey, 1, 0, ep1.Addr())
 		f.a1.Offer(key2, 1, 0, ep2.Addr())

@@ -36,6 +36,8 @@ func newLifecycleFixture(t *testing.T) *sdFixture {
 func TestOfferTTLExpiry(t *testing.T) {
 	f := newLifecycleFixture(t)
 	appEp := f.h1.MustBind(40000)
+	// Interest-based SD: passive caching needs a declared interest.
+	f.a2.Interest(testKey)
 	f.k.At(0, func() { f.a1.Offer(testKey, 1, 0, appEp.Addr()) })
 
 	var cachedAt500ms, cachedAt1500ms bool
@@ -64,6 +66,7 @@ func TestOfferTTLRefreshedByCyclicOffer(t *testing.T) {
 		t.Fatal(err)
 	}
 	appEp := f.h1.MustBind(40000)
+	f.a2.Interest(testKey)
 	f.k.At(0, func() { a1.Offer(testKey, 1, 0, appEp.Addr()) })
 	stillCached := true
 	for ms := 500; ms <= 3500; ms += 500 {
