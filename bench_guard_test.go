@@ -1,0 +1,64 @@
+package dear_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/logical"
+)
+
+// TestFederationRoundsBudget is the coordination-cost regression gate:
+// it re-runs the FederationScaling workload at 4 partitions once and
+// fails if the coordination-round count regresses more than 25% above
+// the committed BENCH_federation.json reference (the gomaxprocs-1
+// entry, where the coordinator's schedule is fully serialized and the
+// round count is reproducible). Rounds only shrink with parallelism —
+// eager re-grants bypass the all-parked sweep the counter tracks — so
+// the serialized reference is an upper bound on any healthy schedule.
+// Grants are budgeted the same way. CI runs this next to the federation
+// race tests; a wall-clock benchmark would be noise-bound here, but the
+// round and grant counts are structural.
+func TestFederationRoundsBudget(t *testing.T) {
+	data, err := os.ReadFile("BENCH_federation.json")
+	if err != nil {
+		t.Fatalf("missing committed federation benchmark reference: %v", err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var refRounds, refGrants float64
+	for _, b := range doc.Benchmarks {
+		if b.Name == "FederationScaling/gomaxprocs-1/partitions-4" {
+			refRounds = b.Metrics["sync-rounds/op"]
+			refGrants = b.Metrics["grants/op"]
+		}
+	}
+	if refRounds == 0 || refGrants == 0 {
+		t.Fatal("BENCH_federation.json lacks the gomaxprocs-1/partitions-4 reference entry")
+	}
+
+	// The exact workload of BenchmarkFederationScaling / -bench-fed-json.
+	cfg := exp.DefaultMeshConfig(16)
+	cfg.Rounds = 10
+	cfg.NoiseEvents = 3000
+	cfg.NoiseInterval = 20 * logical.Microsecond
+	cfg.LinkLatency = 2 * logical.Millisecond
+	res, err := exp.RunMesh(1, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.CoordRounds); got > refRounds*1.25 {
+		t.Errorf("sync rounds at 4 partitions regressed: %v > committed %v +25%%", got, refRounds)
+	}
+	if got := float64(res.CoordGrants); got > refGrants*1.25 {
+		t.Errorf("grant count at 4 partitions regressed: %v > committed %v +25%%", got, refGrants)
+	}
+}

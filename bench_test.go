@@ -288,7 +288,11 @@ func BenchmarkReactorEventThroughput(b *testing.B) {
 // variants run the same simulation in less wall-clock time; on a single
 // core they expose the coordination overhead instead. The cross-link
 // latency doubles as the conservative lookahead, so wider links mean
-// wider windows and fewer barriers.
+// wider grant windows and fewer coordination rounds. Note the workload
+// emits cross-partition traffic far denser than the lookahead, so the
+// round count sits at the conservative floor (span/lookahead) in any
+// sound coordinator; the async coordinator's win is that rounds no
+// longer serialize the partitions on a multi-core host.
 func BenchmarkFederationScaling(b *testing.B) {
 	cfg := exp.DefaultMeshConfig(16)
 	cfg.Rounds = 10
@@ -304,7 +308,8 @@ func BenchmarkFederationScaling(b *testing.B) {
 
 	for _, parts := range []int{1, 2, 4, 8} {
 		b.Run(benchName("partitions", parts), func(b *testing.B) {
-			var events, rounds uint64
+			var events, rounds, grants uint64
+			var parked int64
 			for i := 0; i < b.N; i++ {
 				res, err := exp.RunMesh(1, cfg, parts)
 				if err != nil {
@@ -315,9 +320,13 @@ func BenchmarkFederationScaling(b *testing.B) {
 				}
 				events = res.EventsFired
 				rounds = res.CoordRounds
+				grants = res.CoordGrants
+				parked += res.CoordParkedNs
 			}
 			b.ReportMetric(float64(events), "events/op")
 			b.ReportMetric(float64(rounds), "sync-rounds/op")
+			b.ReportMetric(float64(grants), "grants/op")
+			b.ReportMetric(float64(parked)/float64(b.N), "parked-ns/op")
 		})
 	}
 }

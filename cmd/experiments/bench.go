@@ -103,35 +103,11 @@ func runBenchJSON(path string, quick bool) {
 
 	// Mirrors BenchmarkFederationScaling (bench_test.go): the E10 mesh
 	// single-kernel and sharded over 2/4/8 federated kernels.
-	meshCfg := exp.DefaultMeshConfig(16)
-	meshCfg.Rounds = 10
-	meshCfg.NoiseEvents = 3000
-	meshCfg.NoiseInterval = 20 * logical.Microsecond
-	meshCfg.LinkLatency = 2 * logical.Millisecond
-	meshRef, err := exp.RunMesh(1, meshCfg, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	meshRefReport := meshRef.Report()
+	meshCfg, meshRefReport := federationWorkload()
 	for _, parts := range []int{1, 2, 4, 8} {
-		parts := parts
 		name := fmt.Sprintf("FederationScaling/partitions-%d", parts)
-		results = append(results, summarize(name, testing.Benchmark(func(b *testing.B) {
-			var events, rounds uint64
-			for i := 0; i < b.N; i++ {
-				res, err := exp.RunMesh(1, meshCfg, parts)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if res.Report() != meshRefReport {
-					b.Fatal("E10 determinism gate failed in -bench-json")
-				}
-				events = res.EventsFired
-				rounds = res.CoordRounds
-			}
-			b.ReportMetric(float64(events), "events/op")
-			b.ReportMetric(float64(rounds), "sync-rounds/op")
-		})))
+		results = append(results, summarize(name,
+			testing.Benchmark(federationBench(meshCfg, meshRefReport, parts))))
 	}
 
 	// Mirrors BenchmarkTraceRecord (internal/trace): the recorder
@@ -147,6 +123,85 @@ func runBenchJSON(path string, quick bool) {
 		}
 	})))
 
+	writeBenchFile(path, results)
+}
+
+// federationWorkload builds the E10 federation-scaling configuration
+// shared by every federation benchmark entry, plus the single-kernel
+// reference report its byte-equality gate compares against.
+func federationWorkload() (exp.MeshConfig, string) {
+	meshCfg := exp.DefaultMeshConfig(16)
+	meshCfg.Rounds = 10
+	meshCfg.NoiseEvents = 3000
+	meshCfg.NoiseInterval = 20 * logical.Microsecond
+	meshCfg.LinkLatency = 2 * logical.Millisecond
+	meshRef, err := exp.RunMesh(1, meshCfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return meshCfg, meshRef.Report()
+}
+
+// federationBench returns the benchmark body for one partition count of
+// the federation-scaling workload, reporting the coordination metrics
+// next to throughput.
+func federationBench(meshCfg exp.MeshConfig, refReport string, parts int) func(b *testing.B) {
+	return func(b *testing.B) {
+		var events, rounds, grants uint64
+		var parked int64
+		for i := 0; i < b.N; i++ {
+			res, err := exp.RunMesh(1, meshCfg, parts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Report() != refReport {
+				b.Fatal("E10 determinism gate failed in -bench-json")
+			}
+			events = res.EventsFired
+			rounds = res.CoordRounds
+			grants = res.CoordGrants
+			parked += res.CoordParkedNs
+		}
+		b.ReportMetric(float64(events), "events/op")
+		b.ReportMetric(float64(rounds), "sync-rounds/op")
+		b.ReportMetric(float64(grants), "grants/op")
+		b.ReportMetric(float64(parked)/float64(b.N), "parked-ns/op")
+	}
+}
+
+// runBenchFedJSON executes the federation perf-trajectory suite — the
+// E10 scaling workload across a GOMAXPROCS x partitions matrix — and
+// writes BENCH_federation.json. The GOMAXPROCS axis is the point: on
+// one scheduler thread the asynchronous coordinator degenerates to
+// lock-step cadence (the conservative span/lookahead floor), while with
+// parallelism the same run overlaps partition windows instead of
+// serializing them; recording both exposes the coordination tax
+// separately from raw throughput. CI gates sync-rounds/op at 4
+// partitions against the committed copy of this file.
+func runBenchFedJSON(path string, quick bool) {
+	meshCfg, meshRefReport := federationWorkload()
+	partCounts := []int{1, 2, 4, 8}
+	if quick {
+		partCounts = []int{1, 4}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var results []benchResult
+	for _, gmp := range []int{1, 4} {
+		runtime.GOMAXPROCS(gmp)
+		for _, parts := range partCounts {
+			name := fmt.Sprintf("FederationScaling/gomaxprocs-%d/partitions-%d", gmp, parts)
+			results = append(results, summarize(name,
+				testing.Benchmark(federationBench(meshCfg, meshRefReport, parts))))
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	writeBenchFile(path, results)
+}
+
+// writeBenchFile marshals the suite results, writes them to path and
+// prints a human-readable echo.
+func writeBenchFile(path string, results []benchResult) {
 	doc := benchFile{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -161,9 +216,12 @@ func runBenchJSON(path string, quick bool) {
 		log.Fatal(err)
 	}
 	for _, r := range results {
-		fmt.Printf("%-32s %8d iter  %14.0f ns/op  %6d allocs/op", r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp)
+		fmt.Printf("%-44s %8d iter  %14.0f ns/op  %6d allocs/op", r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp)
 		if v, ok := r.Metrics["msg/sec/core"]; ok {
 			fmt.Printf("  %10.0f msg/sec/core", v)
+		}
+		if v, ok := r.Metrics["sync-rounds/op"]; ok {
+			fmt.Printf("  %6.0f sync-rounds/op", v)
 		}
 		fmt.Println()
 	}

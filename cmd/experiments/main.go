@@ -8,6 +8,7 @@
 //	experiments [-quick] -trace <file>
 //	experiments -replay <file>
 //	experiments [-quick] -bench-json <file>
+//	experiments [-quick] -bench-fed-json <file>
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
 // shrinks workloads ~20×. -list prints the experiment registry and
@@ -20,10 +21,12 @@
 // diverge from the recorded ones (E13). -trace and -replay are
 // mutually exclusive. -bench-json runs the performance benchmark suite
 // (city scale, federation scaling, trace recording) and writes a
-// machine-readable JSON summary — the BENCH_city.json CI artifact. All
-// experiments except loopback, replay and the wall-clock benchmark
-// figures are deterministic; those use real UDP sockets and/or
-// wall-clock time.
+// machine-readable JSON summary — the BENCH_city.json CI artifact.
+// -bench-fed-json runs the federation scaling workload across a
+// GOMAXPROCS x partitions matrix and writes the BENCH_federation.json
+// artifact CI gates coordination cost against. All experiments except
+// loopback, replay and the wall-clock benchmark figures are
+// deterministic; those use real UDP sockets and/or wall-clock time.
 package main
 
 import (
@@ -55,6 +58,7 @@ func main() {
 	traceFile := flag.String("trace", "", "record a live loopback run and write its trace to this file")
 	replayFile := flag.String("replay", "", "replay a recorded trace file in the simulator and verify outputs")
 	benchJSON := flag.String("bench-json", "", "run the benchmark suite and write machine-readable results to this file")
+	benchFedJSON := flag.String("bench-fed-json", "", "run the federation perf-trajectory suite (GOMAXPROCS x partitions matrix) and write results to this file")
 	flag.Parse()
 
 	f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames := 20000, 20, 100000, 20000, 3, 5000
@@ -300,12 +304,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -trace/-replay replace the registry and are mutually exclusive with -only and -scenario")
 		os.Exit(2)
 	}
-	if *benchJSON != "" {
+	if *benchJSON != "" && *benchFedJSON != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -bench-json and -bench-fed-json are mutually exclusive (one suite per invocation)")
+		os.Exit(2)
+	}
+	if *benchJSON != "" || *benchFedJSON != "" {
 		if *only != "" || *scenarioFile != "" || *traceFile != "" || *replayFile != "" {
-			fmt.Fprintln(os.Stderr, "experiments: -bench-json replaces the registry and is mutually exclusive with -only, -scenario, -trace and -replay")
+			fmt.Fprintln(os.Stderr, "experiments: -bench-json/-bench-fed-json replace the registry and are mutually exclusive with -only, -scenario, -trace and -replay")
 			os.Exit(2)
 		}
-		runBenchJSON(*benchJSON, *quick)
+		if *benchJSON != "" {
+			runBenchJSON(*benchJSON, *quick)
+		} else {
+			runBenchFedJSON(*benchFedJSON, *quick)
+		}
 		return
 	}
 	if *traceFile != "" {

@@ -209,7 +209,8 @@ func TestFederationDaemonsFollowGlobalLiveness(t *testing.T) {
 	// reschedules itself forever.
 }
 
-// A federation of one partition behaves exactly like its kernel.
+// A federation of one partition behaves exactly like its kernel: no
+// channels can exist, so the coordinator must not engage at all.
 func TestFederationSinglePartition(t *testing.T) {
 	f := NewFederation(9, 1)
 	k := f.Kernel(0)
@@ -218,5 +219,9 @@ func TestFederationSinglePartition(t *testing.T) {
 	end := f.RunAll()
 	if fired != 1 || end != logical.Time(logical.Second) {
 		t.Fatalf("fired=%d end=%v", fired, end)
+	}
+	if f.Rounds() != 0 || f.Grants() != 0 {
+		t.Fatalf("single-partition federation coordinated: rounds=%d grants=%d, want 0/0",
+			f.Rounds(), f.Grants())
 	}
 }

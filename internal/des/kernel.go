@@ -36,7 +36,17 @@ type Event struct {
 	// through its free list after firing. Cancel can never reach a
 	// transient event, which is what makes recycling safe.
 	transient bool
-	index     int // heap index, -1 once popped
+	// local marks events that are guaranteed never to emit onto a
+	// federation channel, directly or transitively: while a local event
+	// fires, Channel.Send panics and every event it schedules inherits
+	// the mark, so the guarantee is closed under scheduling and enforced
+	// at run time. The federation coordinator skips local events when
+	// computing a partition's earliest-output-time bound (NextEmitTime),
+	// which is what lets partitions free-run through dense local-only
+	// phases. Events become local by being scheduled from a local event
+	// or from a process started with SpawnLocal.
+	local bool
+	index int // heap index, -1 once popped
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -113,6 +123,9 @@ type Kernel struct {
 	// free recycles transient Events: scheduling is the hot path shared by
 	// every federated kernel, and pooling removes the per-event allocation.
 	free []*Event
+	// firingLocal is set while a local-marked event fires: newly scheduled
+	// events inherit the mark and Channel.Send panics (see Event.local).
+	firingLocal bool
 	// tracer, when set, receives Trace calls (nil = tracing disabled;
 	// the hot-path cost is one nil check).
 	tracer Tracer
@@ -207,15 +220,30 @@ func (k *Kernel) scheduleReuse(t logical.Time, daemon bool, fn func(), transient
 		e = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
-		*e = Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon, transient: true}
+		*e = Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon, transient: true, local: k.firingLocal}
 	} else {
-		e = &Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon, transient: transient}
+		e = &Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon, transient: transient, local: k.firingLocal}
 	}
 	heap.Push(&k.queue, e)
 	if !daemon {
 		k.pending++
 	}
 	return e
+}
+
+// ReserveEvents grows the transient-event free list so that the next n
+// AtTransient calls allocate nothing. The federation coordinator uses it
+// to inject drained cross-partition message batches without per-message
+// allocations; it is also safe (and cheap) to call speculatively.
+func (k *Kernel) ReserveEvents(n int) {
+	short := n - len(k.free)
+	if short <= 0 {
+		return
+	}
+	block := make([]Event, short)
+	for i := range block {
+		k.free = append(k.free, &block[i])
+	}
 }
 
 // recycle returns a fired transient event to the free list. Only transient
@@ -258,7 +286,9 @@ func (k *Kernel) Run(until logical.Time) logical.Time {
 			k.now = next.at
 		}
 		k.fired++
+		k.firingLocal = next.local
 		next.fire()
+		k.firingLocal = false
 		if next.transient {
 			k.recycle(next)
 		}
@@ -274,15 +304,47 @@ func (k *Kernel) Run(until logical.Time) logical.Time {
 // RunAll executes events until the queue is empty or Stop is called.
 func (k *Kernel) RunAll() logical.Time { return k.Run(logical.Forever) }
 
-// NextEventTime returns the firing time of the earliest queued event.
-// A canceled event may be reported (it is skipped when its time comes),
-// so the result is a lower bound on the next actual firing.
+// NextEventTime returns the firing time of the earliest queued live
+// event, discarding canceled events from the head of the queue as it
+// goes (they would be skipped at firing time anyway). The federation
+// coordinator uses the result as the partition's earliest-output-time
+// bound, so keeping it tight — never a stale canceled timestamp —
+// directly widens the windows granted to downstream partitions.
 func (k *Kernel) NextEventTime() (logical.Time, bool) {
+	for len(k.queue) > 0 && k.queue[0].canceled {
+		heap.Pop(&k.queue)
+	}
 	if len(k.queue) == 0 {
 		return 0, false
 	}
 	return k.queue[0].at, true
 }
+
+// NextEmitTime returns the earliest queued event that could emit onto a
+// federation channel — i.e. the earliest live event without the local
+// mark (see Event.local). The federation coordinator uses it as the
+// partition's earliest-output-time bound: events below the result are
+// provably incapable of sending cross-partition, so downstream grants
+// may reach past them. The queue is scanned unordered (O(queued)); it
+// is called once per coordinator park, not per event.
+func (k *Kernel) NextEmitTime() (logical.Time, bool) {
+	var best logical.Time
+	found := false
+	for _, e := range k.queue {
+		if e.local || e.canceled {
+			continue
+		}
+		if !found || e.at < best {
+			best = e.at
+			found = true
+		}
+	}
+	return best, found
+}
+
+// LocalFiring reports whether the currently firing event carries the
+// local (never-emits) mark — the flag Channel.Send enforces against.
+func (k *Kernel) LocalFiring() bool { return k.firingLocal }
 
 // RunLive executes every queued event — daemon events included — whose
 // time is at or before until, then advances the clock to until. Unlike
@@ -313,7 +375,9 @@ func (k *Kernel) RunLive(until logical.Time) logical.Time {
 			k.now = next.at
 		}
 		k.fired++
+		k.firingLocal = next.local
 		next.fire()
+		k.firingLocal = false
 		if next.transient {
 			k.recycle(next)
 		}

@@ -68,6 +68,14 @@ type MeshResult struct {
 	// coordination rounds are zero on a single kernel, and delivered
 	// counts include SD multicast whose fan-out is per-partition.
 	CoordRounds uint64
+	// CoordGrants counts execution windows the federation coordinator
+	// dispatched across all partitions (zero on a single kernel).
+	// Schedule-dependent, like CoordRounds.
+	CoordGrants uint64
+	// CoordParkedNs is cumulative wall-clock nanoseconds partitions
+	// spent parked while the federation still had pending work —
+	// the coordination-stall budget. Wall-clock, so never canonical.
+	CoordParkedNs int64
 	// EventsFired counts kernel events across all partitions.
 	EventsFired uint64
 	// Delivered counts delivered datagrams (mode-dependent).
@@ -126,17 +134,19 @@ func RunScenario(spec scenario.Spec) (*MeshResult, error) {
 	w.Run()
 	ctrlSends, ctrlFanout := w.ControlPlane()
 	return &MeshResult{
-		Seed:        w.Spec.Seed,
-		Config:      w.Spec,
-		Partitions:  w.Partitions(),
-		Rows:        w.Stats,
-		Trace:       w.Trace(),
-		CoordRounds: w.CoordRounds(),
-		EventsFired: w.EventsFired(),
-		Delivered:   w.Delivered(),
-		Dropped:     w.Dropped(),
-		CtrlSends:   ctrlSends,
-		CtrlFanout:  ctrlFanout,
+		Seed:          w.Spec.Seed,
+		Config:        w.Spec,
+		Partitions:    w.Partitions(),
+		Rows:          w.Stats,
+		Trace:         w.Trace(),
+		CoordRounds:   w.CoordRounds(),
+		CoordGrants:   w.CoordGrants(),
+		CoordParkedNs: w.CoordParkedNs(),
+		EventsFired:   w.EventsFired(),
+		Delivered:     w.Delivered(),
+		Dropped:       w.Dropped(),
+		CtrlSends:     ctrlSends,
+		CtrlFanout:    ctrlFanout,
 	}, nil
 }
 

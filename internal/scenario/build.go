@@ -125,7 +125,12 @@ func Build(spec Spec) (*World, error) {
 			src := host.MustBind(NoisePort + 1)
 			sinkAddr := simnet.Addr{Host: host.ID(), Port: NoisePort}
 			k := w.Runtimes[i].Kernel()
-			k.Spawn(fmt.Sprintf("noise%02d", i), func(p *des.Process) {
+			// SpawnLocal declares (and the kernel enforces) that the noise
+			// chain never emits cross-partition, so the federation excludes
+			// its dense event timeline from earliest-output-time bounds —
+			// without it, 20µs noise ticks pin every partition's bound to
+			// its window end and force lookahead-cadence grants.
+			k.SpawnLocal(fmt.Sprintf("noise%02d", i), func(p *des.Process) {
 				var buf [4]byte
 				for m := 0; m < norm.NoiseEvents; m++ {
 					binary.BigEndian.PutUint32(buf[:], uint32(m))
@@ -179,6 +184,36 @@ func (w *World) traceCapacity() int {
 	return 4*rounds*targets + spec.Platforms*spec.NoiseEvents + 256
 }
 
+// traceCapacityPartition bounds the trace ring for the platforms pinned
+// to one partition (platform i lives on partition i % partitions): the
+// partition records its own clients' call/call-err records (outbound
+// edges), its own servers' serve records (inbound edges) and its own
+// noise deliveries. Sized per partition instead of handing every
+// recorder the full global capacity, the federation's total ring memory
+// matches the single-kernel ring instead of multiplying it by the
+// partition count — with the same 2× slack over the exact record count,
+// because eviction anywhere is a mode-dependence bug.
+func (w *World) traceCapacityPartition(part, partitions int) int {
+	spec := w.Spec
+	rounds := spec.Rounds
+	if spec.Crash != nil && spec.Crash.RebornRounds > rounds {
+		rounds = spec.Crash.RebornRounds
+	}
+	out, in, noisy := 0, 0, 0
+	for i, edges := range w.Edges {
+		if i%partitions == part {
+			out += len(edges)
+			noisy++
+		}
+		for _, j := range edges {
+			if j%partitions == part {
+				in++
+			}
+		}
+	}
+	return 2*rounds*(out+in) + noisy*spec.NoiseEvents + 256
+}
+
 // buildSubstrate creates the kernel(s), the network (or cluster), the
 // per-kernel trace recorders and the platform hosts.
 func (w *World) buildSubstrate() error {
@@ -201,11 +236,33 @@ func (w *World) buildSubstrate() error {
 	}
 	w.fed = des.NewFederation(spec.Seed, spec.Partitions)
 	for i := 0; i < w.fed.Partitions(); i++ {
-		rec := trace.NewRecorder(w.traceCapacity())
+		rec := trace.NewRecorder(w.traceCapacityPartition(i, spec.Partitions))
 		w.fed.Kernel(i).SetTracer(rec)
 		w.recorders = append(w.recorders, rec)
 	}
-	cluster, err := simnet.NewCluster(w.fed, netCfg)
+	// Cross-partition traffic in a compiled world flows only along call
+	// edges (requests out, responses back): noise is loopback-local and
+	// SD multicast is per-partition by the Cluster contract. Declaring
+	// exactly those partition routes gives the federation a sparse
+	// lookahead matrix, so partitions whose platforms never talk stop
+	// constraining each other's grants.
+	allowed := make([][]bool, spec.Partitions)
+	for i := range allowed {
+		allowed[i] = make([]bool, spec.Partitions)
+	}
+	for i, edges := range w.Edges {
+		pi := i % spec.Partitions
+		for _, j := range edges {
+			pj := j % spec.Partitions
+			if pi != pj {
+				allowed[pi][pj] = true
+				allowed[pj][pi] = true
+			}
+		}
+	}
+	cluster, err := simnet.NewClusterRoutes(w.fed, netCfg, func(from, to int) bool {
+		return allowed[from][to]
+	})
 	if err != nil {
 		return err
 	}
@@ -442,6 +499,26 @@ func (w *World) Partitions() int {
 func (w *World) CoordRounds() uint64 {
 	if w.fed != nil {
 		return w.fed.Rounds()
+	}
+	return 0
+}
+
+// CoordGrants returns the federation's total dispatched-window count
+// (zero on a single kernel). Mode- and schedule-dependent — never part
+// of canonical reports.
+func (w *World) CoordGrants() uint64 {
+	if w.fed != nil {
+		return w.fed.Grants()
+	}
+	return 0
+}
+
+// CoordParkedNs returns cumulative wall-clock nanoseconds partitions
+// with pending work spent parked between windows (zero on a single
+// kernel) — the observable sync tax. Machine-dependent.
+func (w *World) CoordParkedNs() int64 {
+	if w.fed != nil {
+		return w.fed.ParkedNs()
 	}
 	return 0
 }

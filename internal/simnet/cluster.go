@@ -54,6 +54,22 @@ type Cluster struct {
 // jitter only ever adds delay, the lookahead derived from the link
 // model's minimum remains conservative under any plan.
 func NewCluster(fed *des.Federation, cfg Config) (*Cluster, error) {
+	return NewClusterRoutes(fed, cfg, nil)
+}
+
+// NewClusterRoutes creates a partitioned network whose federation
+// channels exist only for the directed partition pairs the route
+// predicate admits (nil admits every pair, matching NewCluster). A
+// sparser channel graph directly widens the federation's conservative
+// grants: the coordinator's lookahead matrix routes the synchronization
+// constraint between undeclared pairs through multi-hop paths (or not at
+// all), so partitions that never exchange traffic stop throttling each
+// other. Sending a datagram across an undeclared partition pair panics —
+// the route set is a topology contract, not a filter. The predicate is
+// consulted once per ordered pair at construction time, in (from, to)
+// creation order, so it also fixes the channels' deterministic creation
+// order.
+func NewClusterRoutes(fed *des.Federation, cfg Config, route func(from, to int) bool) (*Cluster, error) {
 	// Surface fault-configuration mistakes as errors here; the same
 	// checks panic later in NewNetwork, whose signature predates them.
 	if cfg.DropRate < 0 || cfg.DropRate > 1 {
@@ -97,7 +113,7 @@ func NewCluster(fed *des.Federation, cfg Config) (*Cluster, error) {
 	for from := 0; from < p; from++ {
 		from := from
 		for to := 0; to < p; to++ {
-			if from == to {
+			if from == to || (route != nil && !route(from, to)) {
 				continue
 			}
 			c.chans[from][to] = fed.Channel(from, to, lookahead)
@@ -155,6 +171,11 @@ func (c *Cluster) SetLink(a, b uint16, m MinLatencyModel) {
 		panic("simnet: cluster link needs positive lookahead (min latency + switch delay)")
 	}
 	for _, ch := range []*des.Channel{c.chans[pa][pb], c.chans[pb][pa]} {
+		if ch == nil {
+			panic(fmt.Sprintf(
+				"simnet: SetLink between hosts %d,%d crosses partitions %d<->%d with no declared route (see NewClusterRoutes)",
+				a, b, pa, pb))
+		}
 		if la < ch.Lookahead() {
 			ch.SetLookahead(la)
 		}
@@ -232,7 +253,13 @@ func (c *Cluster) route(from int, src *Endpoint, dg Datagram) bool {
 	}
 	lat := model.Latency(len(dg.Payload)) + c.switchDelay + extra
 	target := c.parts[to]
+	ch := c.chans[from][to]
+	if ch == nil {
+		panic(fmt.Sprintf(
+			"simnet: datagram %d->%d crosses partitions %d->%d with no declared route (see NewClusterRoutes)",
+			dg.Src.Host, dg.Dst.Host, from, to))
+	}
 	at := c.parts[from].k.Now().Add(lat)
-	c.chans[from][to].Send(at, func() { target.deliver(dg) })
+	ch.Send(at, func() { target.deliver(dg) })
 	return true
 }
