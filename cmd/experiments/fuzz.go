@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/fuzzer"
+)
+
+// runFuzz executes a seeded offline fuzzing campaign: n generated
+// specs, each run single-kernel vs federated across partition counts
+// and GOMAXPROCS values, reports compared byte-for-byte. The first
+// divergence is shrunk to a minimal spec and emitted under outDir as
+// ready-to-commit JSON plus a FirstDivergence report; the nonzero
+// exit status is the CI contract. A clean campaign exits zero.
+func runFuzz(n int, seed uint64, outDir string) {
+	t0 := time.Now()
+	fail, err := fuzzer.Run(fuzzer.Options{
+		Seed:       seed,
+		Iterations: n,
+		OutDir:     outDir,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fail != nil {
+		fmt.Printf("\n%s\n", fail.Report)
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", fail)
+		fmt.Fprintf(os.Stderr, "experiments: minimal repro spec: %s\n", fail.SpecPath)
+		fmt.Fprintf(os.Stderr, "experiments: divergence report:  %s\n", fail.ReportPath)
+		fmt.Fprintf(os.Stderr, "experiments: commit the spec under examples/regressions/ once fixed — the regression replay test gates it forever\n")
+		os.Exit(1)
+	}
+	fmt.Printf("fuzz campaign clean: %d specs upheld the determinism contract (seed %d, %v)\n",
+		n, seed, time.Since(t0).Round(time.Millisecond))
+}

@@ -9,6 +9,7 @@
 //	experiments -replay <file>
 //	experiments [-quick] -bench-json <file>
 //	experiments [-quick] -bench-fed-json <file>
+//	experiments -fuzz <n> [-seed <s>] [-fuzz-out <dir>]
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
 // shrinks workloads ~20×. -list prints the experiment registry and
@@ -24,7 +25,12 @@
 // machine-readable JSON summary — the BENCH_city.json CI artifact.
 // -bench-fed-json runs the federation scaling workload across a
 // GOMAXPROCS x partitions matrix and writes the BENCH_federation.json
-// artifact CI gates coordination cost against. All experiments except
+// artifact CI gates coordination cost against. -fuzz runs a seeded
+// offline fuzzing campaign of n generated scenario specs through the
+// determinism property (single-kernel vs federated byte-equality);
+// -seed keys the campaign (default 1) and -fuzz-out selects where the
+// shrunk minimal repro of a divergence is written (default
+// examples/regressions, the ready-to-commit location). All experiments except
 // loopback, replay and the wall-clock benchmark figures are
 // deterministic; those use real UDP sockets and/or wall-clock time.
 package main
@@ -59,6 +65,9 @@ func main() {
 	replayFile := flag.String("replay", "", "replay a recorded trace file in the simulator and verify outputs")
 	benchJSON := flag.String("bench-json", "", "run the benchmark suite and write machine-readable results to this file")
 	benchFedJSON := flag.String("bench-fed-json", "", "run the federation perf-trajectory suite (GOMAXPROCS x partitions matrix) and write results to this file")
+	fuzzN := flag.Int("fuzz", 0, "run a seeded fuzzing campaign of this many generated specs through the determinism property")
+	fuzzSeed := flag.Uint64("seed", 1, "campaign seed for -fuzz (spec i is fuzzer.Gen(seed, i))")
+	fuzzOut := flag.String("fuzz-out", "examples/regressions", "directory receiving the shrunk repro spec and report when -fuzz finds a divergence")
 	flag.Parse()
 
 	f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames := 20000, 20, 100000, 20000, 3, 5000
@@ -304,6 +313,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -trace/-replay replace the registry and are mutually exclusive with -only and -scenario")
 		os.Exit(2)
 	}
+	if *fuzzN > 0 {
+		if *only != "" || *scenarioFile != "" || *traceFile != "" || *replayFile != "" || *benchJSON != "" || *benchFedJSON != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -fuzz replaces the registry and is mutually exclusive with -only, -scenario, -trace, -replay and the bench suites")
+			os.Exit(2)
+		}
+		runFuzz(*fuzzN, *fuzzSeed, *fuzzOut)
+		return
+	}
 	if *benchJSON != "" && *benchFedJSON != "" {
 		fmt.Fprintln(os.Stderr, "experiments: -bench-json and -bench-fed-json are mutually exclusive (one suite per invocation)")
 		os.Exit(2)
@@ -439,16 +456,13 @@ func runScenarioFile(path string) {
 	fmt.Printf("(%d partitions, %d events, %d coordination rounds, %v)\n",
 		res.Partitions, res.EventsFired, res.CoordRounds, time.Since(t0).Round(time.Millisecond))
 	if res.Partitions > 1 {
-		single := spec
-		single.Partitions = 1
-		ref, err := exp.RunScenario(single)
+		div, err := exp.CompareSpecModes(spec, []int{res.Partitions}, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if ref.Report() != res.Report() {
-			log.Fatalf("determinism gate FAILED: federated report diverged from single-kernel report:\n--- single ---\n%s--- federated ---\n%s",
-				ref.Report(), res.Report())
+		if div != nil {
+			log.Fatalf("determinism gate FAILED:\n%s", div)
 		}
-		fmt.Println("determinism gate: federated report byte-identical to single-kernel report")
+		fmt.Println("determinism gate: federated report and trace byte-identical to single-kernel run")
 	}
 }

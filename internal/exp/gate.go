@@ -2,7 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -70,4 +73,123 @@ func divergenceError(seed uint64, partitions int, ref *MeshResult, refReport str
 	return fmt.Errorf(
 		"exp: diverged at seed %d, %d partitions (traces agree — divergence is outside the traced event set):\n--- single kernel ---\n%s--- federated ---\n%s",
 		seed, partitions, refReport, report)
+}
+
+// ModeDivergence describes one determinism-contract violation found by
+// CompareSpecModes: which execution mode disagreed with the
+// single-kernel reference, both canonical reports, and — when the
+// logical event traces disagree too — the first divergent event.
+type ModeDivergence struct {
+	// Partitions is the federated partition count that diverged.
+	Partitions int
+	// Procs is the GOMAXPROCS value the diverging run executed under
+	// (0 = the ambient setting was left untouched).
+	Procs int
+	// RefReport is the single-kernel reference report.
+	RefReport string
+	// Report is the diverging run's report. Equal to RefReport when the
+	// divergence is trace-only.
+	Report string
+	// Div localizes the divergence to the first disagreeing trace event;
+	// nil when the traces agree (the divergence then lies outside the
+	// traced event set).
+	Div *trace.Divergence
+}
+
+// String renders the violation for gate failures and repro reports:
+// the mode, the first divergent event when localized, and both reports
+// when they differ.
+func (m *ModeDivergence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "federated run (%d partitions, GOMAXPROCS=%d) diverged from single-kernel reference\n",
+		m.Partitions, m.Procs)
+	if m.Div != nil {
+		fmt.Fprintf(&b, "first divergent event: t=%v component=%s kind=%s (%s)\n",
+			m.Div.Time(), m.Div.Component(), m.Div.Kind(), m.Div)
+	} else {
+		b.WriteString("traces agree — divergence is outside the traced event set\n")
+	}
+	if m.Report != m.RefReport {
+		fmt.Fprintf(&b, "--- single kernel ---\n%s--- federated ---\n%s", m.RefReport, m.Report)
+	} else {
+		b.WriteString("canonical reports agree — divergence is trace-only\n")
+	}
+	return b.String()
+}
+
+// CompareSpecModes is the reusable run-one-spec-both-modes primitive
+// behind the determinism fuzzer, the regression-spec replay test and
+// the -scenario CLI gate: it runs the spec once on a single kernel
+// (the reference) and then federated at every requested partition
+// count × GOMAXPROCS value, requiring byte-identical canonical reports
+// AND byte-identical canonical traces. It returns the first violation
+// (nil when every mode agrees); the error return is reserved for specs
+// that fail to compile or run.
+//
+// partitionCounts defaults to {2, 4}; entries ≤ 1 and counts that
+// collapse to an already-run effective partition count (the compiler
+// caps partitions at the platform count) are skipped. procs defaults
+// to {0}, meaning GOMAXPROCS is left untouched; positive entries pin
+// it for the federated run and restore the previous value afterwards.
+func CompareSpecModes(spec scenario.Spec, partitionCounts, procs []int) (*ModeDivergence, error) {
+	if len(partitionCounts) == 0 {
+		partitionCounts = []int{2, 4}
+	}
+	if len(procs) == 0 {
+		procs = []int{0}
+	}
+	norm, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	norm.Partitions = 1
+	ref, err := RunScenario(norm)
+	if err != nil {
+		return nil, fmt.Errorf("exp: single-kernel reference: %w", err)
+	}
+	refReport := ref.Report()
+	seen := map[int]bool{1: true}
+	for _, p := range partitionCounts {
+		eff := p
+		if eff > norm.Platforms {
+			eff = norm.Platforms
+		}
+		if eff <= 1 || seen[eff] {
+			continue
+		}
+		seen[eff] = true
+		fed := norm
+		fed.Partitions = eff
+		for _, gp := range procs {
+			restore := pinProcs(gp)
+			res, err := RunScenario(fed)
+			restore()
+			if err != nil {
+				return nil, fmt.Errorf("exp: federated run (%d partitions): %w", eff, err)
+			}
+			md := &ModeDivergence{
+				Partitions: res.Partitions,
+				Procs:      gp,
+				RefReport:  refReport,
+				Report:     res.Report(),
+			}
+			if ref.Trace != nil && res.Trace != nil {
+				md.Div = trace.FirstDivergence(ref.Trace, res.Trace)
+			}
+			if md.Report != md.RefReport || md.Div != nil {
+				return md, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// pinProcs sets GOMAXPROCS for one run and returns the restore func;
+// n ≤ 0 is a no-op (ambient setting kept).
+func pinProcs(n int) (restore func()) {
+	if n <= 0 {
+		return func() {}
+	}
+	old := runtime.GOMAXPROCS(n)
+	return func() { runtime.GOMAXPROCS(old) }
 }

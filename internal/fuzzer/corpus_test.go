@@ -1,0 +1,69 @@
+package fuzzer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// seedCorpusSize is the number of generated specs committed under
+// testdata/fuzz/FuzzSpecDeterminism/ in Go's native corpus format.
+// They seed the mutation engine and are replayed by every plain
+// `go test` run of the fuzz target.
+const seedCorpusSize = 8
+
+const seedCorpusDir = "testdata/fuzz/FuzzSpecDeterminism"
+
+// seedCorpusEntry renders spec i of the committed corpus in Go's
+// "go test fuzz v1" encoding: one []byte literal holding the spec's
+// canonical JSON.
+func seedCorpusEntry(i uint64) ([]byte, error) {
+	data, err := scenario.MarshalJSONSpec(Gen(1, i))
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)), nil
+}
+
+// TestSeedCorpusFresh pins the committed seed corpus to the generator:
+// every committed entry must be exactly what Gen(1, i) marshals to, so
+// a generator change that silently invalidates the corpus fails here
+// instead of quietly fuzzing from stale seeds. Regenerate with
+//
+//	FUZZER_WRITE_CORPUS=1 go test -run TestSeedCorpusFresh ./internal/fuzzer/
+func TestSeedCorpusFresh(t *testing.T) {
+	if os.Getenv("FUZZER_WRITE_CORPUS") != "" {
+		if err := os.MkdirAll(seedCorpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < seedCorpusSize; i++ {
+			entry, err := seedCorpusEntry(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(seedCorpusDir, fmt.Sprintf("seed-%03d", i))
+			if err := os.WriteFile(path, entry, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("wrote %d corpus entries under %s", seedCorpusSize, seedCorpusDir)
+		return
+	}
+	for i := uint64(0); i < seedCorpusSize; i++ {
+		want, err := seedCorpusEntry(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(seedCorpusDir, fmt.Sprintf("seed-%03d", i))
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed corpus entry missing (regenerate with FUZZER_WRITE_CORPUS=1): %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s is stale: generator output changed (regenerate with FUZZER_WRITE_CORPUS=1)", path)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package fuzzer turns the repo's determinism contract into a
+// searchable property. The hand-written byte-equality gates (E4,
+// E10–E14) only guard the scenarios someone thought to write down;
+// this package generates valid scenario.Specs from a seeded,
+// counter-based stream, runs each one single-kernel vs federated
+// (sweeping partition counts and GOMAXPROCS) through
+// exp.CompareSpecModes, and — on a violation — greedily shrinks the
+// spec to a minimal reproducer while trace.FirstDivergence still
+// names a divergent event, emitting the result as ready-to-commit
+// JSON plus a divergence report.
+//
+// Three entry points share the engine:
+//
+//   - TestFuzzDeterminism (fuzzer_test.go): a bounded seeded campaign
+//     on every `go test` run (-short trims it).
+//   - FuzzSpecDeterminism (fuzzer_test.go): a native Go fuzz target
+//     whose corpus is the spec JSON codec — mutation explores the
+//     spec space structurally.
+//   - cmd/experiments -fuzz <n> -seed <s>: long offline campaigns.
+//
+// Everything is deterministic: spec i of a campaign keyed by seed s is
+// a pure function of (s, i) via des.Mix3, so a campaign replays
+// exactly and a failure names the (seed, index) that found it.
+package fuzzer
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/logical"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+)
+
+// draw is the counter-based value stream for one generated spec: the
+// j-th draw of spec i under campaign seed s is des.Mix3(s, i, j). No
+// sequential RNG state escapes a spec, so generation order never
+// matters and any index can be regenerated in isolation.
+type draw struct {
+	seed, index, ctr uint64
+}
+
+func (d *draw) next() uint64 {
+	v := des.Mix3(d.seed, d.index, d.ctr)
+	d.ctr++
+	return v
+}
+
+func (d *draw) intn(n int) int { return int(d.next() % uint64(n)) }
+
+func (d *draw) chance(p float64) bool { return des.UnitFloat64(d.next()) < p }
+
+// pick returns one of the listed values; repeating a value weights it.
+func pick[T any](d *draw, vals ...T) T { return vals[d.intn(len(vals))] }
+
+// genShapes is the generator's shape pool: every Spec shape plus Full,
+// which the sweep order in scenario.Shapes omits but validation
+// permits — exactly the kind of edge the fuzzer exists to cover.
+var genShapes = append([]scenario.Shape{scenario.Full}, scenario.Shapes...)
+
+// Gen returns the i-th generated spec of the campaign keyed by seed.
+// Every returned spec is valid (Gen is pinned by test to never produce
+// a Validate error) and deliberately biased toward the edges
+// validation permits: the 2-platform minimum, degree at its cap,
+// zero noise, zero gap and zero work-spread, link latencies small
+// enough that traffic runs dense against the federation lookahead,
+// fault windows aligned with the traffic horizon, and crashes at
+// link-latency boundaries — where conservative-sync bookkeeping is
+// most likely to betray a mode dependence.
+func Gen(seed, i uint64) scenario.Spec {
+	d := &draw{seed: seed, index: i}
+
+	// Small platform counts dominate: they are cheap, they shrink fast,
+	// and a mode dependence that needs many platforms to manifest is
+	// rare compared to one that needs a particular interaction shape.
+	n := pick(d, 2, 2, 3, 3, 4, 4, 5, 6, 8, 12)
+	shape := pick(d, genShapes...)
+	degree := pick(d, 1, 1+d.intn(maxInt(1, n-1)), n-1) // floor, random, cap
+
+	spec := scenario.Spec{
+		Name:        fmt.Sprintf("fuzz-s%d-i%d", seed, i),
+		Platforms:   n,
+		Topology:    shape,
+		Degree:      degree,
+		Partitions:  pick(d, 2, 2, 3, 4),
+		Seed:        d.next(),
+		Rounds:      pick(d, 1, 1, 2, 2, 3, 4, 6),
+		Gap:         pick[logical.Duration](d, 0, 0, 200, 500, 800) * logical.Microsecond,
+		WorkBase:    pick[logical.Duration](d, 0, 10, 20) * logical.Microsecond,
+		WorkSpread:  pick[logical.Duration](d, 0, 0, 40, 120) * logical.Microsecond,
+		LinkLatency: pick[logical.Duration](d, 50, 100, 200, 350) * logical.Microsecond,
+		SwitchDelay: pick[logical.Duration](d, 0, 0, 10, 20) * logical.Microsecond,
+	}
+	if d.chance(0.5) {
+		spec.NoiseEvents = pick(d, 10, 40, 120)
+		spec.NoiseInterval = pick[logical.Duration](d, 20, 50) * logical.Microsecond
+	}
+
+	// A rough per-round traffic horizon anchors fault windows and crash
+	// times where traffic actually flows: one blocking call costs two
+	// link traversals plus the server's work model, a round issues up to
+	// `degree` of them, and rounds are separated by the gap.
+	oneWay := spec.LinkLatency + spec.SwitchDelay
+	round := logical.Duration(degree)*(2*oneWay+spec.WorkBase+spec.WorkSpread) + spec.Gap
+	horizon := logical.Duration(spec.Rounds) * round
+
+	faulty := false
+	if d.chance(0.45) {
+		plan := &simnet.FaultPlan{Seed: d.next()}
+		plan.DropRate = pick(d, 0, 0, 0.01, 0.05, 0.1)
+		if d.chance(0.5) {
+			from := logical.Time(d.intn(int(horizon) + 1))
+			plan.Loss = []simnet.LossWindow{{
+				From: from,
+				To:   from + logical.Time(horizon/2+1),
+				Rate: pick(d, 0.3, 0.5, 1.0),
+			}}
+		}
+		if d.chance(0.3) {
+			// Isolate a small host group for a slice of the horizon; the
+			// empty GroupB means "everyone else".
+			group := []uint16{uint16(scenario.HostID(d.intn(n)))}
+			from := logical.Time(d.intn(int(horizon) + 1))
+			plan.Partitions = []simnet.PartitionWindow{{
+				From:   from,
+				To:     from + logical.Time(horizon/3+1),
+				GroupA: group,
+			}}
+		}
+		if d.chance(0.4) {
+			plan.Jitter = []simnet.JitterBurst{{
+				From:  0,
+				To:    logical.Time(horizon + 1),
+				Extra: pick[logical.Duration](d, 50, 150, 300) * logical.Microsecond,
+			}}
+		}
+		faulty = plan.DropRate > 0 || len(plan.Loss) > 0 || len(plan.Partitions) > 0
+		if faulty || len(plan.Jitter) > 0 {
+			spec.Faults = plan
+		}
+	}
+
+	crashed := false
+	if d.chance(0.35) {
+		crashed = true
+		cp := &scenario.CrashPlan{Platform: d.intn(n)}
+		// Crash-at-boundary bias: most crash instants land on an exact
+		// multiple of the one-way link latency — the federation's
+		// lookahead quantum, where a window-edge bookkeeping bug would
+		// show — with a plain horizon draw as the fallback.
+		if d.chance(0.7) && oneWay > 0 {
+			cp.At = logical.Time(oneWay) * logical.Time(1+d.intn(maxInt(1, int(horizon/oneWay))))
+		} else {
+			cp.At = logical.Time(1 + d.intn(int(horizon)+1))
+		}
+		if d.chance(0.5) {
+			cp.RestartAt = cp.At + logical.Time(oneWay)*logical.Time(1+d.intn(4))
+			cp.RebornRounds = pick(d, 0, 1, 2)
+		}
+		spec.Crash = cp
+	}
+
+	// Lost calls must fail observably: a timeout is mandatory whenever
+	// packets can vanish, and worth fuzzing on its own the rest of the
+	// time (expiry racing a late response is an ordering edge).
+	if faulty || crashed || d.chance(0.3) {
+		spec.CallTimeout = pick[logical.Duration](d, 2, 5, 20) * logical.Millisecond
+	}
+	return spec
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package fuzzer
+
+import "repro/internal/scenario"
+
+// A reduction move proposes a strictly smaller candidate spec, or
+// reports that it no longer applies. Moves never mutate their input:
+// shared pointers (fault plan, crash plan) are copied before editing.
+type reduction struct {
+	name  string
+	apply func(scenario.Spec) (scenario.Spec, bool)
+}
+
+// reductions is the fixed, ordered move list the greedy shrinker
+// cycles through. Order encodes priority: structure-removing moves
+// (drop the fault plan, drop the crash) come before size-halving ones,
+// and parameter zeroing comes last — a repro without a fault plan is
+// worth more than one with two fewer platforms.
+var reductions = []reduction{
+	{"drop-faults", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Faults == nil {
+			return s, false
+		}
+		s.Faults = nil
+		return s, true
+	}},
+	{"drop-crash", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Crash == nil {
+			return s, false
+		}
+		s.Crash = nil
+		return s, true
+	}},
+	{"drop-restart", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Crash == nil || s.Crash.RestartAt == 0 {
+			return s, false
+		}
+		cp := *s.Crash
+		cp.RestartAt, cp.RebornRounds = 0, 0
+		s.Crash = &cp
+		return s, true
+	}},
+	{"drop-noise", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.NoiseEvents == 0 {
+			return s, false
+		}
+		s.NoiseEvents, s.NoiseInterval = 0, 0
+		return s, true
+	}},
+	{"halve-platforms", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Platforms <= 2 {
+			return s, false
+		}
+		s.Platforms = maxInt(2, s.Platforms/2)
+		// Keep dependent fields valid: normalization caps the degree and
+		// partition count, but a crash platform outside the new range is
+		// a hard validation error, not a cap.
+		if s.Crash != nil && s.Crash.Platform >= s.Platforms {
+			cp := *s.Crash
+			cp.Platform = s.Platforms - 1
+			s.Crash = &cp
+		}
+		return s, true
+	}},
+	{"halve-rounds", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Rounds <= 1 {
+			return s, false
+		}
+		s.Rounds = maxInt(1, s.Rounds/2)
+		return s, true
+	}},
+	{"halve-partitions", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Partitions <= 2 {
+			return s, false
+		}
+		s.Partitions = maxInt(2, s.Partitions/2)
+		return s, true
+	}},
+	{"shrink-degree", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Degree <= 1 {
+			return s, false
+		}
+		s.Degree = maxInt(1, s.Degree/2)
+		return s, true
+	}},
+	{"ring-topology", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Topology == scenario.Ring {
+			return s, false
+		}
+		s.Topology = scenario.Ring
+		return s, true
+	}},
+	{"zero-work-spread", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.WorkSpread == 0 {
+			return s, false
+		}
+		s.WorkSpread = 0
+		return s, true
+	}},
+	{"zero-switch-delay", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.SwitchDelay == 0 {
+			return s, false
+		}
+		s.SwitchDelay = 0
+		return s, true
+	}},
+	{"zero-gap", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Gap == 0 {
+			return s, false
+		}
+		s.Gap = 0
+		return s, true
+	}},
+}
+
+// Shrink greedily minimizes a diverging spec: it cycles through the
+// reduction moves in order, re-normalizes each candidate, and keeps a
+// candidate only when reproduces still reports the divergence. It
+// stops after a full pass makes no progress or after budget candidate
+// evaluations, returning the smallest spec that still diverges.
+// Deterministic given a deterministic reproduces predicate; with a
+// flaky bug (the usual kind) a false "does not reproduce" can only
+// leave the result larger than optimal, never wrong.
+func Shrink(spec scenario.Spec, reproduces func(scenario.Spec) (bool, error), budget int) scenario.Spec {
+	cur := spec
+	for progress := true; progress && budget > 0; {
+		progress = false
+		for _, m := range reductions {
+			if budget <= 0 {
+				break
+			}
+			cand, ok := m.apply(cur)
+			if !ok {
+				continue
+			}
+			norm, err := cand.Normalized()
+			if err != nil {
+				continue
+			}
+			budget--
+			still, err := reproduces(norm)
+			if err != nil || !still {
+				continue
+			}
+			cur = norm
+			progress = true
+		}
+	}
+	return cur
+}

@@ -318,6 +318,9 @@ func (w *World) buildServer(i int, name string) (*ara.Runtime, error) {
 		}
 		h = fnvMix(h, uint64(i))
 		h = fnvMix(h, uint64(rows[i].Served))
+		if chaosServeDraw != nil {
+			h = fnvMix(h, chaosServeDraw())
+		}
 		if spec.WorkSpread > 0 {
 			c.Exec(spec.WorkBase + logical.Duration(h%uint64(spec.WorkSpread)))
 		} else if spec.WorkBase > 0 {

@@ -1,0 +1,42 @@
+package scenario
+
+// Deliberate nondeterminism injection, for testing the determinism
+// fuzzer itself. The fuzzer (internal/fuzzer) hunts for divergence
+// between single-kernel and federated executions of the same spec; its
+// own acceptance test must prove it *finds* a real nondeterminism bug
+// and shrinks it to a minimal spec. EnableChaosForTesting plants that
+// bug: a draw whose value depends on Go map iteration order — the
+// canonical accidental-nondeterminism source — mixed into every compute
+// response. Because the response hash also feeds the server's
+// data-dependent execution-time model, the perturbation skews event
+// timing too, so the injected fault is visible in reports, latencies
+// and the logical event trace alike.
+//
+// The hook is nil in production: no draw happens, no branch beyond one
+// pointer test is paid, and nothing outside a test can install it.
+
+// chaosServeDraw, when non-nil, returns a value mixed into every
+// compute handler's response hash. Installed only by
+// EnableChaosForTesting.
+var chaosServeDraw func() uint64
+
+// EnableChaosForTesting installs the deliberate nondeterminism fault
+// and returns a restore func that removes it. Not safe for concurrent
+// worlds: it is process-global, exactly like the accidental bugs it
+// imitates.
+func EnableChaosForTesting() (restore func()) {
+	// Several distinct keys, so two independent draws disagree with
+	// probability 7/8 — one draw per served call makes a whole run's
+	// agreement astronomically unlikely for any non-trivial workload.
+	m := make(map[uint64]uint64, 8)
+	for i := uint64(1); i <= 8; i++ {
+		m[i*0x9e3779b97f4a7c15] = i
+	}
+	chaosServeDraw = func() uint64 {
+		for k := range m {
+			return k // first key of a randomized iteration order
+		}
+		return 0
+	}
+	return func() { chaosServeDraw = nil }
+}

@@ -220,10 +220,11 @@ func MarshalJSONSpec(s Spec) ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
-// normalized returns a copy with defaults filled and the shape
-// parameters capped, or an error when the spec is invalid. Every
-// compiler entry point and Describe go through it, so a spec and its
-// JSON round trip always compile to the same world.
+// normalized returns a copy with defaults filled, the shape parameters
+// capped and behaviour-free residue canonicalized, or an error when the
+// spec is invalid. Every compiler entry point and Describe go through
+// it, so a spec and its JSON round trip always compile to the same
+// world.
 func (s Spec) normalized() (Spec, error) {
 	if s.Platforms < 2 {
 		return s, fmt.Errorf("scenario: needs at least 2 platforms")
@@ -251,6 +252,34 @@ func (s Spec) normalized() (Spec, error) {
 	if s.LinkLatency <= 0 {
 		return s, fmt.Errorf("scenario: needs positive link latency (it is the federation lookahead)")
 	}
+	// Negative scalars have no meaning anywhere in the compiled world (a
+	// negative duration would run the kernel backwards); reject them all
+	// so generated and hand-written specs fail identically and loudly.
+	if s.Rounds < 0 {
+		return s, fmt.Errorf("scenario: negative rounds %d", s.Rounds)
+	}
+	if s.NoiseEvents < 0 {
+		return s, fmt.Errorf("scenario: negative noise events %d", s.NoiseEvents)
+	}
+	for _, d := range []struct {
+		name string
+		v    logical.Duration
+	}{
+		{"gapNs", s.Gap}, {"workBaseNs", s.WorkBase}, {"workSpreadNs", s.WorkSpread},
+		{"noiseIntervalNs", s.NoiseInterval}, {"switchDelayNs", s.SwitchDelay},
+		{"callTimeoutNs", s.CallTimeout},
+	} {
+		if d.v < 0 {
+			return s, fmt.Errorf("scenario: negative %s (%d)", d.name, int64(d.v))
+		}
+	}
+	// Canonicalize behaviour-free residue so that Describe equality and
+	// behavioural equality coincide in both directions: a disabled noise
+	// generator has no interval, and a crash that never restarts has no
+	// restart time or reborn rounds.
+	if s.NoiseEvents == 0 {
+		s.NoiseInterval = 0
+	}
 	if s.Faults != nil {
 		// Surface fault-plan mistakes here: the single-kernel build path
 		// would otherwise only discover them as a panic inside
@@ -259,8 +288,23 @@ func (s Spec) normalized() (Spec, error) {
 			return s, err
 		}
 	}
-	if s.Crash != nil && (s.Crash.Platform < 0 || s.Crash.Platform >= s.Platforms) {
-		return s, fmt.Errorf("scenario: crash platform %d out of range", s.Crash.Platform)
+	if c := s.Crash; c != nil {
+		if c.Platform < 0 || c.Platform >= s.Platforms {
+			return s, fmt.Errorf("scenario: crash platform %d out of range", c.Platform)
+		}
+		if c.At < 0 {
+			return s, fmt.Errorf("scenario: negative crash time %d", int64(c.At))
+		}
+		if c.RebornRounds < 0 {
+			return s, fmt.Errorf("scenario: negative reborn rounds %d", c.RebornRounds)
+		}
+		if c.RestartAt <= c.At && (c.RestartAt != 0 || c.RebornRounds != 0) {
+			// "Never restarts" has one canonical spelling. Copy before
+			// editing: the caller's plan is shared, not owned.
+			cp := *c
+			cp.RestartAt, cp.RebornRounds = 0, 0
+			s.Crash = &cp
+		}
 	}
 	if s.CallTimeout <= 0 {
 		// Without a timeout a lost request or response would park its
@@ -280,6 +324,16 @@ func (s Spec) normalized() (Spec, error) {
 func (s Spec) Validate() error {
 	_, err := s.normalized()
 	return err
+}
+
+// Normalized returns the canonical form of the spec — defaults filled,
+// shape parameters capped, behaviour-free residue zeroed — or an error
+// when the spec is invalid. It is the exact form Build compiles and
+// Describe renders; tools that edit specs programmatically (the
+// determinism fuzzer's reduction moves) re-normalize after every edit
+// so a candidate is always a spec a user could have written.
+func (s Spec) Normalized() (Spec, error) {
+	return s.normalized()
 }
 
 // Describe renders the canonical, mode-independent description of the
