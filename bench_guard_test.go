@@ -3,10 +3,14 @@ package dear_test
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"testing"
 
+	"repro/internal/ara"
+	"repro/internal/des"
 	"repro/internal/exp"
 	"repro/internal/logical"
+	"repro/internal/simnet"
 )
 
 // TestFederationRoundsBudget is the coordination-cost regression gate:
@@ -61,4 +65,141 @@ func TestFederationRoundsBudget(t *testing.T) {
 	if got := float64(res.CoordGrants); got > refGrants*1.25 {
 		t.Errorf("grant count at 4 partitions regressed: %v > committed %v +25%%", got, refGrants)
 	}
+}
+
+// TestFederationAllocBudget is the allocation regression gate of the
+// kernel hot-path work: it re-runs the FederationScaling workload at 4
+// partitions and fails if heap allocations per fired event exceed the
+// committed BENCH_federation.json reference (gomaxprocs-1/partitions-4,
+// allocsPerOp over events/op) by more than 25%. Allocation counts are
+// not byte-exact across runs — goroutine scheduling shifts amortized
+// growth — but a pooled-event kernel sits far enough below the closure-
+// per-event one (~3x) that 25% headroom separates noise from regression.
+func TestFederationAllocBudget(t *testing.T) {
+	data, err := os.ReadFile("BENCH_federation.json")
+	if err != nil {
+		t.Fatalf("missing committed federation benchmark reference: %v", err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name        string             `json:"name"`
+			AllocsPerOp int64              `json:"allocsPerOp"`
+			Metrics     map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var refAllocsPerEvent float64
+	for _, b := range doc.Benchmarks {
+		if b.Name == "FederationScaling/gomaxprocs-1/partitions-4" {
+			if ev := b.Metrics["events/op"]; ev > 0 {
+				refAllocsPerEvent = float64(b.AllocsPerOp) / ev
+			}
+		}
+	}
+	if refAllocsPerEvent == 0 {
+		t.Fatal("BENCH_federation.json lacks allocsPerOp for the gomaxprocs-1/partitions-4 reference entry")
+	}
+
+	cfg := exp.DefaultMeshConfig(16)
+	cfg.Rounds = 10
+	cfg.NoiseEvents = 3000
+	cfg.NoiseInterval = 20 * logical.Microsecond
+	cfg.LinkLatency = 2 * logical.Millisecond
+	// Warm-up run: one-time costs (lazily grown pools, map growth) are
+	// not what the per-event budget tracks.
+	if _, err := exp.RunMesh(1, cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := exp.RunMesh(1, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	allocsPerEvent := float64(after.Mallocs-before.Mallocs) / float64(res.EventsFired)
+	if allocsPerEvent > refAllocsPerEvent*1.25 {
+		t.Errorf("allocs/event at 4 partitions regressed: %.3f > committed %.3f +25%%",
+			allocsPerEvent, refAllocsPerEvent)
+	}
+}
+
+// TestTransientPathZeroAlloc pins the zero-allocation claims of the
+// closure-free hot paths: once pools are warm, a schedule+fire round
+// trip on simnet datagram delivery, a mailbox timed put and a future
+// resolution with registered callbacks must not allocate at all. These
+// are exact pins, not budgets — a single stray closure or interface box
+// on any of these paths fails the gate.
+func TestTransientPathZeroAlloc(t *testing.T) {
+	const runs = 100
+
+	t.Run("SimnetDeliver", func(t *testing.T) {
+		k := des.NewKernel(1)
+		n := simnet.NewNetwork(k, simnet.Config{})
+		src := n.AddHost("src", nil)
+		dst := n.AddHost("dst", nil)
+		from, err := src.Bind(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		to, err := dst.Bind(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		received := 0
+		to.OnReceive(func(simnet.Datagram) { received++ })
+		// The empty payload isolates the delivery machinery from the
+		// caller's payload copy (which is proportional to message size,
+		// not a per-event overhead).
+		if avg := testing.AllocsPerRun(runs, func() {
+			from.Send(to.Addr(), nil)
+			k.RunAll()
+		}); avg != 0 {
+			t.Errorf("simnet delivery schedule+fire allocates %.1f per op, want 0", avg)
+		}
+		if received != runs+1 {
+			t.Fatalf("delivered %d of %d", received, runs+1)
+		}
+	})
+
+	t.Run("MailboxTimedPut", func(t *testing.T) {
+		k := des.NewKernel(1)
+		m := des.NewMailbox[int](k, "gate")
+		if avg := testing.AllocsPerRun(runs, func() {
+			m.PutAfter(logical.Microsecond, 7)
+			k.RunAll()
+			if _, ok := m.TryRecv(); !ok {
+				t.Fatal("timed put not delivered")
+			}
+		}); avg != 0 {
+			t.Errorf("mailbox timed put schedule+fire allocates %.1f per op, want 0", avg)
+		}
+	})
+
+	t.Run("FutureResolve", func(t *testing.T) {
+		k := des.NewKernel(1)
+		// Futures (and their callback registrations) are created outside
+		// the measured region: the gate pins the resolution+delivery
+		// round trip, not construction.
+		fired := 0
+		cb := func(ara.Result) { fired++ }
+		futures := make([]*ara.Future, runs+1)
+		for i := range futures {
+			futures[i] = ara.NewFuture(k)
+			futures[i].Then(cb)
+		}
+		i := 0
+		if avg := testing.AllocsPerRun(runs, func() {
+			futures[i].Resolve(ara.Result{})
+			i++
+			k.RunAll()
+		}); avg != 0 {
+			t.Errorf("future resolution schedule+fire allocates %.1f per op, want 0", avg)
+		}
+		if fired != runs+1 {
+			t.Fatalf("fired %d of %d callbacks", fired, runs+1)
+		}
+	})
 }

@@ -8,18 +8,21 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/des"
 	"repro/internal/exp"
 	"repro/internal/logical"
+	"repro/internal/simnet"
 	"repro/internal/trace"
 )
 
-// The -bench-json mode runs the performance benchmark suite
+// The -bench-json mode runs the performance benchmark suites
 // programmatically (testing.Benchmark over the same workloads as the
-// go-test benchmarks it mirrors) and writes a machine-readable summary
-// — the file CI publishes as BENCH_city.json and the repo commits as a
-// reference point. Wall-clock figures are machine-dependent; the
-// byte-equality gates inside each workload are not, and a gate failure
-// aborts the run with a nonzero exit.
+// go-test benchmarks they mirror) and writes one machine-readable
+// document — the files CI publishes and the repo commits as reference
+// points (BENCH_kernel.json, BENCH_city.json, BENCH_federation.json,
+// regenerated per suite with -bench-suite). Wall-clock figures are
+// machine-dependent; the byte-equality gates inside each workload are
+// not, and a gate failure aborts the run with a nonzero exit.
 
 // benchResult is one benchmark's machine-readable summary line.
 type benchResult struct {
@@ -65,8 +68,103 @@ func summarize(name string, r testing.BenchmarkResult) benchResult {
 	return out
 }
 
-// runBenchJSON executes the suite and writes the JSON document to path.
-func runBenchJSON(path string, quick bool) {
+// runBench executes the selected suite ("kernel", "city", "federation"
+// or "all") and writes the combined JSON document to path.
+func runBench(path string, quick bool, suite string) {
+	var results []benchResult
+	if suite == "all" || suite == "kernel" {
+		results = append(results, kernelSuite()...)
+	}
+	if suite == "all" || suite == "city" {
+		results = append(results, citySuite(quick)...)
+	}
+	if suite == "all" || suite == "federation" {
+		results = append(results, federationSuite(quick)...)
+	}
+	writeBenchFile(path, results)
+}
+
+// kernelSuite mirrors the des/simnet hot-path microbenchmarks
+// (BenchmarkKernelFire, BenchmarkProcessSwitch, BenchmarkMailboxTimedPut,
+// BenchmarkSimnetDeliver): one converted closure-free path each, with
+// allocs/op as the figure of interest — the committed BENCH_kernel.json
+// reference pins them at zero.
+func kernelSuite() []benchResult {
+	var results []benchResult
+
+	results = append(results, summarize("KernelFire", testing.Benchmark(func(b *testing.B) {
+		k := des.NewKernel(1)
+		count := 0
+		var chain func(any)
+		chain = func(any) {
+			count++
+			if count < b.N {
+				k.AfterTransientFn(logical.Microsecond, chain, nil)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.AtTransientFn(0, chain, nil)
+		k.RunAll()
+	})))
+
+	results = append(results, summarize("ProcessSwitch", testing.Benchmark(func(b *testing.B) {
+		k := des.NewKernel(1)
+		k.Spawn("switcher", func(p *des.Process) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(logical.Microsecond)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.RunAll()
+	})))
+
+	results = append(results, summarize("MailboxTimedPut", testing.Benchmark(func(b *testing.B) {
+		k := des.NewKernel(1)
+		m := des.NewMailbox[int](k, "bench")
+		m.PutAfter(logical.Microsecond, 0)
+		k.RunAll()
+		m.TryRecv()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PutAfter(logical.Microsecond, i)
+			k.RunAll()
+			m.TryRecv()
+		}
+	})))
+
+	results = append(results, summarize("SimnetDeliver", testing.Benchmark(func(b *testing.B) {
+		k := des.NewKernel(1)
+		n := simnet.NewNetwork(k, simnet.Config{})
+		src := n.AddHost("src", nil)
+		dst := n.AddHost("dst", nil)
+		from, err := src.Bind(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		to, err := dst.Bind(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		to.OnReceive(func(simnet.Datagram) {})
+		from.Send(to.Addr(), nil)
+		k.RunAll()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			from.Send(to.Addr(), nil)
+			k.RunAll()
+		}
+	})))
+
+	return results
+}
+
+// citySuite mirrors BenchmarkCityScale (bench_test.go) and the trace
+// recorder gate — the BENCH_city.json reference.
+func citySuite(quick bool) []benchResult {
 	cityN := exp.DefaultCityPlatforms
 	if quick {
 		cityN = 800
@@ -101,15 +199,6 @@ func runBenchJSON(path string, quick bool) {
 		b.ReportMetric(float64(last.Result.CtrlFanout), "ctrl-fanout/op")
 	})))
 
-	// Mirrors BenchmarkFederationScaling (bench_test.go): the E10 mesh
-	// single-kernel and sharded over 2/4/8 federated kernels.
-	meshCfg, meshRefReport := federationWorkload()
-	for _, parts := range []int{1, 2, 4, 8} {
-		name := fmt.Sprintf("FederationScaling/partitions-%d", parts)
-		results = append(results, summarize(name,
-			testing.Benchmark(federationBench(meshCfg, meshRefReport, parts))))
-	}
-
 	// Mirrors BenchmarkTraceRecord (internal/trace): the recorder
 	// hot-path gate — digest-only record, 0 allocs/op.
 	results = append(results, summarize("TraceRecord", testing.Benchmark(func(b *testing.B) {
@@ -123,7 +212,7 @@ func runBenchJSON(path string, quick bool) {
 		}
 	})))
 
-	writeBenchFile(path, results)
+	return results
 }
 
 // federationWorkload builds the E10 federation-scaling configuration
@@ -169,16 +258,16 @@ func federationBench(meshCfg exp.MeshConfig, refReport string, parts int) func(b
 	}
 }
 
-// runBenchFedJSON executes the federation perf-trajectory suite — the
-// E10 scaling workload across a GOMAXPROCS x partitions matrix — and
-// writes BENCH_federation.json. The GOMAXPROCS axis is the point: on
+// federationSuite runs the federation perf-trajectory suite — the E10
+// scaling workload across a GOMAXPROCS x partitions matrix — the
+// BENCH_federation.json reference. The GOMAXPROCS axis is the point: on
 // one scheduler thread the asynchronous coordinator degenerates to
 // lock-step cadence (the conservative span/lookahead floor), while with
 // parallelism the same run overlaps partition windows instead of
 // serializing them; recording both exposes the coordination tax
-// separately from raw throughput. CI gates sync-rounds/op at 4
-// partitions against the committed copy of this file.
-func runBenchFedJSON(path string, quick bool) {
+// separately from raw throughput. CI gates sync-rounds/op and the
+// allocation budget at 4 partitions against the committed copy.
+func federationSuite(quick bool) []benchResult {
 	meshCfg, meshRefReport := federationWorkload()
 	partCounts := []int{1, 2, 4, 8}
 	if quick {
@@ -196,7 +285,7 @@ func runBenchFedJSON(path string, quick bool) {
 		}
 	}
 	runtime.GOMAXPROCS(prev)
-	writeBenchFile(path, results)
+	return results
 }
 
 // writeBenchFile marshals the suite results, writes them to path and

@@ -7,9 +7,11 @@
 //	experiments [-quick] [-list] [-only <name>] [-scenario <file.json>]
 //	experiments [-quick] -trace <file>
 //	experiments -replay <file>
-//	experiments [-quick] -bench-json <file>
-//	experiments [-quick] -bench-fed-json <file>
+//	experiments [-quick] -bench-json <file> [-bench-suite kernel|city|federation|all]
 //	experiments -fuzz <n> [-seed <s>] [-fuzz-out <dir>]
+//
+// Any workload mode additionally accepts -cpuprofile <file> and
+// -memprofile <file> to write pprof profiles of the run.
 //
 // Full scale (paper scale: 20×100k frames) takes a few minutes; -quick
 // shrinks workloads ~20×. -list prints the experiment registry and
@@ -20,12 +22,15 @@
 // trace to a file; -replay re-executes a recorded trace inside the
 // deterministic simulator and exits nonzero if the replayed outputs
 // diverge from the recorded ones (E13). -trace and -replay are
-// mutually exclusive. -bench-json runs the performance benchmark suite
-// (city scale, federation scaling, trace recording) and writes a
-// machine-readable JSON summary — the BENCH_city.json CI artifact.
-// -bench-fed-json runs the federation scaling workload across a
-// GOMAXPROCS x partitions matrix and writes the BENCH_federation.json
-// artifact CI gates coordination cost against. -fuzz runs a seeded
+// mutually exclusive. -bench-json runs the performance benchmark suites
+// and writes one machine-readable JSON document; -bench-suite narrows
+// the run to a single suite — "kernel" (the des/simnet hot-path
+// microbenchmarks, BENCH_kernel.json), "city" (city scale + trace
+// recording, BENCH_city.json), "federation" (the E10 scaling workload
+// across a GOMAXPROCS x partitions matrix, BENCH_federation.json, which
+// CI gates coordination cost and allocation budgets against), or "all"
+// (the default). -bench-fed-json <file> is a deprecated alias for
+// -bench-json <file> -bench-suite federation. -fuzz runs a seeded
 // offline fuzzing campaign of n generated scenario specs through the
 // determinism property (single-kernel vs federated byte-equality);
 // -seed keys the campaign (default 1) and -fuzz-out selects where the
@@ -40,6 +45,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,12 +70,43 @@ func main() {
 	scenarioFile := flag.String("scenario", "", "compile and run a declarative JSON scenario spec")
 	traceFile := flag.String("trace", "", "record a live loopback run and write its trace to this file")
 	replayFile := flag.String("replay", "", "replay a recorded trace file in the simulator and verify outputs")
-	benchJSON := flag.String("bench-json", "", "run the benchmark suite and write machine-readable results to this file")
-	benchFedJSON := flag.String("bench-fed-json", "", "run the federation perf-trajectory suite (GOMAXPROCS x partitions matrix) and write results to this file")
+	benchJSON := flag.String("bench-json", "", "run the benchmark suites and write machine-readable results to this file")
+	benchSuite := flag.String("bench-suite", "all", "suite for -bench-json: kernel, city, federation or all")
+	benchFedJSON := flag.String("bench-fed-json", "", "deprecated alias for -bench-json <file> -bench-suite federation")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	fuzzN := flag.Int("fuzz", 0, "run a seeded fuzzing campaign of this many generated specs through the determinism property")
 	fuzzSeed := flag.Uint64("seed", 1, "campaign seed for -fuzz (spec i is fuzzer.Gen(seed, i))")
 	fuzzOut := flag.String("fuzz-out", "examples/regressions", "directory receiving the shrunk repro spec and report when -fuzz finds a divergence")
 	flag.Parse()
+
+	if (*cpuProfile != "" || *memProfile != "") && *list {
+		fmt.Fprintln(os.Stderr, "experiments: -cpuprofile/-memprofile need a workload to profile and are mutually exclusive with -list")
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	f1Trials, f5Inst, f5Frames, detFrames, detSeeds, toFrames := 20000, 20, 100000, 20000, 3, 5000
 	meshN, meshRounds, meshNoise := 16, 40, 2000
@@ -322,7 +360,15 @@ func main() {
 		return
 	}
 	if *benchJSON != "" && *benchFedJSON != "" {
-		fmt.Fprintln(os.Stderr, "experiments: -bench-json and -bench-fed-json are mutually exclusive (one suite per invocation)")
+		fmt.Fprintln(os.Stderr, "experiments: -bench-json and its deprecated alias -bench-fed-json are mutually exclusive (use -bench-json with -bench-suite)")
+		os.Exit(2)
+	}
+	if *benchFedJSON != "" && *benchSuite != "all" {
+		fmt.Fprintln(os.Stderr, "experiments: -bench-suite only applies to -bench-json (the -bench-fed-json alias is pinned to the federation suite)")
+		os.Exit(2)
+	}
+	if *benchSuite != "all" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -bench-suite requires -bench-json")
 		os.Exit(2)
 	}
 	if *benchJSON != "" || *benchFedJSON != "" {
@@ -330,11 +376,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: -bench-json/-bench-fed-json replace the registry and are mutually exclusive with -only, -scenario, -trace and -replay")
 			os.Exit(2)
 		}
-		if *benchJSON != "" {
-			runBenchJSON(*benchJSON, *quick)
-		} else {
-			runBenchFedJSON(*benchFedJSON, *quick)
+		path, suite := *benchJSON, *benchSuite
+		if *benchFedJSON != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -bench-fed-json is deprecated; use -bench-json <file> -bench-suite federation")
+			path, suite = *benchFedJSON, "federation"
 		}
+		switch suite {
+		case "all", "kernel", "city", "federation":
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown -bench-suite %q; valid choices: kernel, city, federation, all\n", suite)
+			os.Exit(2)
+		}
+		runBench(path, *quick, suite)
 		return
 	}
 	if *traceFile != "" {

@@ -57,22 +57,39 @@ func (f *Future) Result() (r Result, ok bool) { return f.result, f.done }
 
 // Resolve completes the future. Second and later calls are ignored
 // (e.g. a late response after a timeout).
+//
+// Registered callbacks are delivered by a single closure-free kernel
+// event carrying the future itself as its argument — the schedule+fire
+// round trip allocates nothing. Running all callbacks inside one event
+// preserves the historical per-callback-event order exactly: the old
+// events held consecutive sequence numbers at the same instant, so no
+// other event could interleave between them, and anything a callback
+// schedules still lands after the whole batch either way.
 func (f *Future) Resolve(r Result) {
 	if f.done {
 		return
 	}
 	f.done = true
 	f.result = r
-	cbs := f.cbs
-	f.cbs = nil
-	for _, cb := range cbs {
-		cb := cb
-		f.k.AfterTransient(0, func() { cb(r) })
+	if len(f.cbs) > 0 {
+		f.k.AfterTransientFn(0, fireCallbacks, f)
 	}
 	for _, w := range f.waiters {
 		w.Unpark()
 	}
 	f.waiters = nil
+}
+
+// fireCallbacks is the package-level delivery body of the resolution
+// event: it drains the callbacks registered before resolution and runs
+// them with the (immutable, already-resolved) result.
+func fireCallbacks(a any) {
+	f := a.(*Future)
+	cbs := f.cbs
+	f.cbs = nil
+	for _, cb := range cbs {
+		cb(f.result)
+	}
 }
 
 // Then registers a callback to run (as a kernel event) when the future

@@ -17,18 +17,28 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/logical"
 )
 
-// Event is a scheduled closure. It can be canceled before it fires.
+// Event is a scheduled unit of work. It can be canceled before it fires.
+// The work is either a plain closure (fire) or a closure-free (fn, arg)
+// pair — see AtTransientFn — so hot paths can schedule without allocating
+// a capture closure per event.
 type Event struct {
-	k        *Kernel
-	at       logical.Time
-	seq      uint64
-	fire     func()
+	k   *Kernel
+	at  logical.Time
+	seq uint64
+	// fire is the scheduled closure (handle-returning API and plain
+	// transients). nil when the event carries a (fn, arg) pair instead.
+	fire func()
+	// fn/arg are the closure-free form: fn is a long-lived (typically
+	// package-level) function and arg its per-event argument, usually a
+	// pooled carrier. Storing the pair in the pooled Event removes the
+	// per-schedule closure allocation on hot paths.
+	fn       func(arg any)
+	arg      any
 	daemon   bool
 	canceled bool
 	// transient marks events scheduled through AtTransient/AfterTransient:
@@ -47,6 +57,10 @@ type Event struct {
 	// or from a process started with SpawnLocal.
 	local bool
 	index int // heap index, -1 once popped
+	// emitIndex is the event's position in the kernel's emit shadow heap
+	// (see Kernel.emit), -1 when absent. Only maintained on federated
+	// kernels; single-kernel mode never populates the shadow heap.
+	emitIndex int
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -67,33 +81,169 @@ func (e *Event) Cancel() {
 // Time returns the simulated time at which the event fires.
 func (e *Event) Time() logical.Time { return e.at }
 
-type eventHeap []*Event
+// eventQueue is the kernel's priority queue: a 4-ary min-heap over
+// *Event specialized to the (at, seq) key, replacing container/heap to
+// eliminate the per-push/pop interface dispatch (Less/Swap/Len calls
+// through an interface, plus the any-boxing of Push/Pop operands) on
+// the hottest kernel path. Behaviour is provably identical to the old
+// binary heap: (at, seq) is a strict total order — seq is unique per
+// kernel — so every correct heap pops events in exactly the same
+// sequence, which is what keeps every golden byte-identical across the
+// swap. The 4-ary layout halves tree depth, trading one extra child
+// comparison per level for better cache locality on sift-down.
+//
+// Event.index is maintained on every move so Cancel can keep telling
+// queued events (index >= 0) from popped ones (index == -1).
+type eventQueue []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports the strict (at, seq) order. Keys are never equal:
+// seq is unique per kernel.
+func (a *Event) before(b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push inserts e, restoring the heap by sifting up.
+func (q *eventQueue) push(e *Event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !e.before(p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = e
+	e.index = i
+	*q = h
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// pop removes and returns the minimum event, restoring the heap by
+// sifting the displaced tail element down.
+func (q *eventQueue) pop() *Event {
+	h := *q
+	min := h[0]
+	min.index = -1
+	n := len(h) - 1
+	e := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if n == 0 {
+		return min
+	}
+	// Sift e down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			break
+		}
+		// Pick the smallest of up to four children.
+		best := c
+		bestEv := h[c]
+		for j := c + 1; j < c+4 && j < n; j++ {
+			if h[j].before(bestEv) {
+				best = j
+				bestEv = h[j]
+			}
+		}
+		if !bestEv.before(e) {
+			break
+		}
+		h[i] = bestEv
+		bestEv.index = i
+		i = best
+	}
+	h[i] = e
+	e.index = i
+	return min
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// emitHeap is the kernel's shadow priority queue over emit-capable
+// events: the same 4-ary (at, seq) min-heap as eventQueue, but holding
+// only live non-local events and maintaining Event.emitIndex instead of
+// Event.index. Federated kernels keep it in lock-step with the main
+// queue so NextEmitTime — the coordinator's earliest-output-time bound,
+// consulted on every park — is O(1) at the head instead of a full
+// O(queued) scan. Canceled events are discarded lazily at the head.
+type emitHeap []*Event
+
+// push inserts e, restoring the heap by sifting up.
+func (q *emitHeap) push(e *Event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !e.before(p) {
+			break
+		}
+		h[i] = p
+		p.emitIndex = i
+		i = parent
+	}
+	h[i] = e
+	e.emitIndex = i
+	*q = h
+}
+
+// removeAt deletes the event at heap position i (the main queue popped
+// it, or it was discarded as canceled): the tail element takes its
+// place and is sifted in either direction as needed.
+func (q *emitHeap) removeAt(i int) {
+	h := *q
+	h[i].emitIndex = -1
+	n := len(h) - 1
+	e := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if i == n {
+		return
+	}
+	// Sift e up from i, then down if it did not move.
+	j := i
+	for j > 0 {
+		parent := (j - 1) >> 2
+		p := h[parent]
+		if !e.before(p) {
+			break
+		}
+		h[j] = p
+		p.emitIndex = j
+		j = parent
+	}
+	if j == i {
+		for {
+			c := j<<2 + 1
+			if c >= n {
+				break
+			}
+			best := c
+			bestEv := h[c]
+			for m := c + 1; m < c+4 && m < n; m++ {
+				if h[m].before(bestEv) {
+					best = m
+					bestEv = h[m]
+				}
+			}
+			if !bestEv.before(e) {
+				break
+			}
+			h[j] = bestEv
+			bestEv.emitIndex = j
+			j = best
+		}
+	}
+	h[j] = e
+	e.emitIndex = j
 }
 
 // Tracer receives logical trace events from a kernel (see
@@ -112,7 +262,7 @@ type Tracer interface {
 type Kernel struct {
 	now      logical.Time
 	seq      uint64
-	queue    eventHeap
+	queue    eventQueue
 	pending  int // non-daemon, non-canceled events still queued
 	procs    []*Process
 	running  bool
@@ -126,6 +276,12 @@ type Kernel struct {
 	// firingLocal is set while a local-marked event fires: newly scheduled
 	// events inherit the mark and Channel.Send panics (see Event.local).
 	firingLocal bool
+	// emitTracked enables the emit shadow heap (set once when the kernel
+	// joins a federation; see TrackEmit). Single-kernel mode leaves it
+	// off, keeping enqueue/dequeue free of shadow maintenance.
+	emitTracked bool
+	// emit shadows the queue's live non-local events (see emitHeap).
+	emit emitHeap
 	// tracer, when set, receives Trace calls (nil = tracing disabled;
 	// the hot-path cost is one nil check).
 	tracer Tracer
@@ -196,10 +352,48 @@ func (k *Kernel) schedule(t logical.Time, daemon bool, fn func()) *Event {
 	return e
 }
 
+// enqueue inserts e into the main queue and, on federated kernels, into
+// the emit shadow heap when the event could emit cross-partition.
+func (k *Kernel) enqueue(e *Event) {
+	k.queue.push(e)
+	e.emitIndex = -1
+	if k.emitTracked && !e.local {
+		k.emit.push(e)
+	}
+}
+
+// dequeue removes the minimum event from the main queue and drops its
+// emit shadow entry if it still has one.
+func (k *Kernel) dequeue() *Event {
+	e := k.queue.pop()
+	if e.emitIndex >= 0 {
+		k.emit.removeAt(e.emitIndex)
+	}
+	return e
+}
+
+// TrackEmit switches the kernel to federated mode: from now on the
+// emit shadow heap mirrors the queue's live non-local events so that
+// NextEmitTime is O(1). Events already queued are folded in, so the
+// call is correct at any point; NewFederation makes it on creation.
+func (k *Kernel) TrackEmit() {
+	if k.emitTracked {
+		return
+	}
+	k.emitTracked = true
+	for _, e := range k.queue {
+		if !e.local && !e.canceled {
+			k.emit.push(e)
+		}
+	}
+}
+
 // AtTransient schedules fn at simulated time t without returning a handle.
 // The event cannot be canceled; in exchange the kernel recycles its Event
 // structure after firing, eliminating the per-event allocation on hot
 // scheduling paths (network delivery, mailbox puts, future resolution).
+// When fn would have to be a fresh capture closure, prefer AtTransientFn,
+// which also removes the closure allocation.
 func (k *Kernel) AtTransient(t logical.Time, fn func()) {
 	k.scheduleReuse(t, false, fn, true)
 }
@@ -208,6 +402,66 @@ func (k *Kernel) AtTransient(t logical.Time, fn func()) {
 // AtTransient).
 func (k *Kernel) AfterTransient(d logical.Duration, fn func()) {
 	k.scheduleReuse(k.now.Add(d), false, fn, true)
+}
+
+// AtTransientFn schedules the closure-free form of a transient event: at
+// time t the kernel calls fn(arg). Because fn is typically a package-level
+// function and arg a pooled carrier (or an already-live pointer), the
+// schedule+fire round trip allocates nothing — the (fn, arg) pair lives in
+// the pooled Event itself, where AtTransient's fn closure would otherwise
+// be a fresh heap allocation per event. This is the scheduling form of
+// every converted hot path: datagram delivery, mailbox timed puts, future
+// resolution, process wakeups and federation batch injection.
+func (k *Kernel) AtTransientFn(t logical.Time, fn func(arg any), arg any) {
+	k.scheduleFn(t, fn, arg)
+}
+
+// AfterTransientFn schedules fn(arg) to run d from now as a transient
+// event (see AtTransientFn).
+func (k *Kernel) AfterTransientFn(d logical.Duration, fn func(arg any), arg any) {
+	k.scheduleFn(k.now.Add(d), fn, arg)
+}
+
+// scheduleFn is the closure-free scheduling hot path: like scheduleReuse
+// with transient=true but carrying a (fn, arg) pair instead of a closure.
+func (k *Kernel) scheduleFn(t logical.Time, fn func(arg any), arg any) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*e = Event{k: k, at: t, seq: k.seq, fn: fn, arg: arg, transient: true, local: k.firingLocal}
+	} else {
+		e = &Event{k: k, at: t, seq: k.seq, fn: fn, arg: arg, transient: true, local: k.firingLocal}
+	}
+	k.enqueue(e)
+	k.pending++
+}
+
+// scheduleWake queues a caller-owned Event structure in place: the
+// non-transient, cancelable analogue of the free-list reuse that
+// AtTransient gets. The caller guarantees single ownership (at most one
+// live incarnation; process wake events qualify — a process sleeps at
+// most once at a time). When the previous incarnation is still queued —
+// canceled but not yet popped — the structure cannot be reused and a
+// fresh Event is allocated instead; either way the returned handle is
+// the one to cancel.
+func (k *Kernel) scheduleWake(e *Event, t logical.Time, fn func()) *Event {
+	if e.k != nil && e.index >= 0 {
+		return k.schedule(t, false, fn)
+	}
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	*e = Event{k: k, at: t, seq: k.seq, fire: fn, local: k.firingLocal}
+	k.enqueue(e)
+	k.pending++
+	return e
 }
 
 func (k *Kernel) scheduleReuse(t logical.Time, daemon bool, fn func(), transient bool) *Event {
@@ -224,7 +478,7 @@ func (k *Kernel) scheduleReuse(t logical.Time, daemon bool, fn func(), transient
 	} else {
 		e = &Event{k: k, at: t, seq: k.seq, fire: fn, daemon: daemon, transient: transient, local: k.firingLocal}
 	}
-	heap.Push(&k.queue, e)
+	k.enqueue(e)
 	if !daemon {
 		k.pending++
 	}
@@ -252,6 +506,8 @@ func (k *Kernel) ReserveEvents(n int) {
 // hit an unrelated future event.
 func (k *Kernel) recycle(e *Event) {
 	e.fire = nil
+	e.fn = nil
+	e.arg = nil
 	k.free = append(k.free, e)
 }
 
@@ -275,7 +531,7 @@ func (k *Kernel) Run(until logical.Time) logical.Time {
 		if next.at > until {
 			break
 		}
-		heap.Pop(&k.queue)
+		k.dequeue()
 		if next.canceled {
 			continue
 		}
@@ -287,7 +543,11 @@ func (k *Kernel) Run(until logical.Time) logical.Time {
 		}
 		k.fired++
 		k.firingLocal = next.local
-		next.fire()
+		if next.fn != nil {
+			next.fn(next.arg)
+		} else {
+			next.fire()
+		}
 		k.firingLocal = false
 		if next.transient {
 			k.recycle(next)
@@ -312,7 +572,7 @@ func (k *Kernel) RunAll() logical.Time { return k.Run(logical.Forever) }
 // directly widens the windows granted to downstream partitions.
 func (k *Kernel) NextEventTime() (logical.Time, bool) {
 	for len(k.queue) > 0 && k.queue[0].canceled {
-		heap.Pop(&k.queue)
+		k.dequeue()
 	}
 	if len(k.queue) == 0 {
 		return 0, false
@@ -325,9 +585,21 @@ func (k *Kernel) NextEventTime() (logical.Time, bool) {
 // mark (see Event.local). The federation coordinator uses it as the
 // partition's earliest-output-time bound: events below the result are
 // provably incapable of sending cross-partition, so downstream grants
-// may reach past them. The queue is scanned unordered (O(queued)); it
-// is called once per coordinator park, not per event.
+// may reach past them. On federated kernels (TrackEmit) the answer is
+// the head of the emit shadow heap — O(1) after lazily discarding
+// canceled heads — where it used to be a full O(queued) scan, the
+// dominant cost of dense-local workloads like the city scenario. The
+// scan remains as the untracked fallback.
 func (k *Kernel) NextEmitTime() (logical.Time, bool) {
+	if k.emitTracked {
+		for len(k.emit) > 0 && k.emit[0].canceled {
+			k.emit.removeAt(0)
+		}
+		if len(k.emit) == 0 {
+			return 0, false
+		}
+		return k.emit[0].at, true
+	}
 	var best logical.Time
 	found := false
 	for _, e := range k.queue {
@@ -364,7 +636,7 @@ func (k *Kernel) RunLive(until logical.Time) logical.Time {
 		if next.at > until {
 			break
 		}
-		heap.Pop(&k.queue)
+		k.dequeue()
 		if next.canceled {
 			continue
 		}
@@ -376,7 +648,11 @@ func (k *Kernel) RunLive(until logical.Time) logical.Time {
 		}
 		k.fired++
 		k.firingLocal = next.local
-		next.fire()
+		if next.fn != nil {
+			next.fn(next.arg)
+		} else {
+			next.fire()
+		}
 		k.firingLocal = false
 		if next.transient {
 			k.recycle(next)

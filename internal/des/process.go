@@ -42,6 +42,14 @@ type Process struct {
 	resume chan resumeSignal
 	yield  chan struct{}
 	wake   *Event // pending wake event while sleeping
+	// wakeEv is the process's reusable wake-event storage: a process
+	// sleeps at most once at a time, so its wake events (one per
+	// Sleep/WaitUntil) recycle a single caller-owned Event through
+	// Kernel.scheduleWake instead of allocating one per block.
+	wakeEv Event
+	// wakeFn is the cached dispatch closure shared by every wake event
+	// (and the spawn event), allocated once per process.
+	wakeFn func()
 	// interruptible is set while the process blocks in an operation that
 	// Interrupt may legitimately wake (WaitUntilInterruptible, Park).
 	interruptible bool
@@ -84,13 +92,19 @@ func (k *Kernel) SpawnAt(t logical.Time, name string, body func(p *Process)) *Pr
 }
 
 func (k *Kernel) spawnAt(t logical.Time, name string, body func(p *Process), local bool) *Process {
+	// The baton channels have capacity 1: strict alternation guarantees
+	// at most one signal is ever in flight per direction, so a buffered
+	// send completes without parking the sender — one goroutine handoff
+	// per switch instead of two. Mutual exclusion is unchanged because
+	// each side still blocks on its own receive before proceeding.
 	p := &Process{
 		k:      k,
 		name:   name,
 		state:  procNew,
-		resume: make(chan resumeSignal),
-		yield:  make(chan struct{}),
+		resume: make(chan resumeSignal, 1),
+		yield:  make(chan struct{}, 1),
 	}
+	p.wakeFn = func() { p.dispatch(resumeSignal{}) }
 	k.procs = append(k.procs, p)
 	go func() {
 		sig := <-p.resume
@@ -118,7 +132,7 @@ func (k *Kernel) spawnAt(t logical.Time, name string, body func(p *Process), loc
 		}()
 		body(p)
 	}()
-	e := k.scheduleReuse(t, false, func() { p.dispatch(resumeSignal{}) }, true)
+	e := k.scheduleReuse(t, false, p.wakeFn, true)
 	if local {
 		e.local = true
 	}
@@ -184,7 +198,7 @@ func (p *Process) Sleep(d logical.Duration) {
 // Interrupt: only its own scheduled wake event (or kernel shutdown) can
 // resume a plain wait.
 func (p *Process) WaitUntil(t logical.Time) {
-	p.wake = p.k.At(t, func() { p.dispatch(resumeSignal{}) })
+	p.wake = p.k.scheduleWake(&p.wakeEv, t, p.wakeFn)
 	p.block(procSleeping)
 	p.wake = nil
 }
@@ -193,7 +207,7 @@ func (p *Process) WaitUntil(t logical.Time) {
 // process calls Interrupt, whichever comes first. It reports whether the
 // wait was interrupted.
 func (p *Process) WaitUntilInterruptible(t logical.Time) (interrupted bool) {
-	p.wake = p.k.At(t, func() { p.dispatch(resumeSignal{}) })
+	p.wake = p.k.scheduleWake(&p.wakeEv, t, p.wakeFn)
 	p.interruptible = true
 	sig := p.block(procSleeping)
 	p.interruptible = false
@@ -210,19 +224,24 @@ func (p *Process) WaitUntilInterruptible(t logical.Time) (interrupted bool) {
 // no-op if the process is not blocked in an interruptible operation at
 // delivery time.
 func (p *Process) Interrupt() {
-	p.k.AtTransient(p.k.now, func() {
-		if !p.interruptible {
-			return
-		}
-		if p.state != procSleeping && p.state != procBlocked {
-			return
-		}
-		if p.wake != nil {
-			p.wake.Cancel()
-			p.wake = nil
-		}
-		p.dispatch(resumeSignal{interrupted: true})
-	})
+	p.k.AtTransientFn(p.k.now, interruptFn, p)
+}
+
+// interruptFn is the package-level delivery body of Interrupt: scheduled
+// closure-free with the target process as the event argument.
+func interruptFn(a any) {
+	p := a.(*Process)
+	if !p.interruptible {
+		return
+	}
+	if p.state != procSleeping && p.state != procBlocked {
+		return
+	}
+	if p.wake != nil {
+		p.wake.Cancel()
+		p.wake = nil
+	}
+	p.dispatch(resumeSignal{interrupted: true})
 }
 
 // Park blocks the process indefinitely until some other process or event
@@ -238,12 +257,18 @@ func (p *Process) Park() (interrupted bool) {
 // Unpark wakes a parked process at the current simulated time. No-op if
 // the process is not parked when the wake event fires.
 func (p *Process) Unpark() {
-	p.k.AtTransient(p.k.now, func() {
-		if p.state != procBlocked {
-			return
-		}
-		p.dispatch(resumeSignal{})
-	})
+	p.k.AtTransientFn(p.k.now, unparkFn, p)
+}
+
+// unparkFn is the package-level delivery body of Unpark: scheduled
+// closure-free with the target process as the event argument (a pointer,
+// so boxing it into the event's arg slot allocates nothing).
+func unparkFn(a any) {
+	p := a.(*Process)
+	if p.state != procBlocked {
+		return
+	}
+	p.dispatch(resumeSignal{})
 }
 
 // Yield gives other events scheduled at the current time a chance to run

@@ -260,6 +260,10 @@ func (c *Cluster) route(from int, src *Endpoint, dg Datagram) bool {
 			dg.Src.Host, dg.Dst.Host, from, to))
 	}
 	at := c.parts[from].k.Now().Add(lat)
-	ch.Send(at, func() { target.deliver(dg) })
+	// Closure-free send: the carrier is borrowed from the sending
+	// partition's pool (this goroutine) and released into the target's
+	// when the delivery fires (the target kernel's goroutine) — see
+	// deliverArg for why the hand-off is race-free.
+	ch.SendFn(at, deliverFn, c.parts[from].borrowDeliver(target, dg))
 	return true
 }

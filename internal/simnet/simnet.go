@@ -171,6 +171,54 @@ type Network struct {
 	// Network does not own. A federated Cluster installs one per partition
 	// to forward cross-partition traffic through timestamped channels.
 	router func(src *Endpoint, dg Datagram) bool
+	// argFree recycles delivery carriers (see deliverArg): a scheduled
+	// delivery rides a pooled kernel event closure-free, and the carrier
+	// returns here — on this network's kernel goroutine — when it fires,
+	// so the per-datagram hot path allocates only the payload copy.
+	argFree []*deliverArg
+}
+
+// deliverArg carries one in-flight datagram: the delivering network and
+// the datagram, stored in the scheduled event's arg slot instead of a
+// capture closure. Carriers are pooled per network (argFree); under a
+// federated Cluster a cross-partition carrier is borrowed from the
+// sender's pool and released into the target's (each pool is touched
+// only by its own kernel's goroutine, which keeps the hand-off
+// race-free), so carriers migrate between partitions but are reused on
+// both sides in steady state.
+type deliverArg struct {
+	n  *Network
+	dg Datagram
+}
+
+// deliverFn is the package-level delivery body of every scheduled
+// datagram. It releases the carrier into the delivering network's pool
+// before delivering, so a send triggered by the receiver can reuse it
+// immediately.
+func deliverFn(a any) {
+	da := a.(*deliverArg)
+	n, dg := da.n, da.dg
+	da.n = nil
+	da.dg = Datagram{}
+	n.argFree = append(n.argFree, da)
+	n.deliver(dg)
+}
+
+// borrowDeliver takes a pooled carrier (or allocates one) and fills it
+// with a delivery bound for network n. Must be called on the sending
+// kernel's goroutine; sender is the pool owner.
+func (sender *Network) borrowDeliver(n *Network, dg Datagram) *deliverArg {
+	var da *deliverArg
+	if ln := len(sender.argFree); ln > 0 {
+		da = sender.argFree[ln-1]
+		sender.argFree[ln-1] = nil
+		sender.argFree = sender.argFree[:ln-1]
+	} else {
+		da = &deliverArg{}
+	}
+	da.n = n
+	da.dg = dg
+	return da
 }
 
 // Config configures a Network.
@@ -437,8 +485,11 @@ func (h *Host) Down() bool { return h.down }
 // against all other events by the usual (time, sequence) rule, which is
 // identical in single-kernel and federated execution.
 func (h *Host) Crash(at logical.Time) {
-	h.net.k.AtTransient(at, h.crashNow)
+	h.net.k.AtTransientFn(at, crashFn, h)
 }
+
+// crashFn is the package-level body of the scheduled crash event.
+func crashFn(a any) { a.(*Host).crashNow() }
 
 // Restart schedules the host to come back at simulated time at, with an
 // empty port space; rebuild (may be nil) then runs in the same kernel
@@ -665,7 +716,7 @@ func (n *Network) route(e *Endpoint, dg Datagram, faulted bool) {
 		}
 		lat = model.Latency(len(payload)) + n.switchDelay + extra
 	}
-	n.k.AfterTransient(lat, func() { n.deliver(dg) })
+	n.k.AfterTransientFn(lat, deliverFn, n.borrowDeliver(n, dg))
 }
 
 func (n *Network) deliver(dg Datagram) {

@@ -28,6 +28,12 @@ type Conn struct {
 	sent      uint64
 	received  uint64
 	decodeErr uint64
+
+	// scratch is the reusable marshal buffer of the send path: the wire
+	// form only needs to live for the duration of Endpoint.Send (which
+	// copies its payload before returning), so one per-Conn buffer
+	// replaces a fresh allocation per outbound message.
+	scratch []byte
 }
 
 // NewConn creates a binding over the endpoint. When tagged is true the
@@ -95,10 +101,8 @@ func (c *Conn) Send(dst Addr, m *Message) error {
 		clone.Tag = nil
 		m = &clone
 	}
-	msgs := []*Message{m}
 	if c.mtu > 0 {
-		var err error
-		msgs, err = Segment(m, c.mtu)
+		msgs, err := Segment(m, c.mtu)
 		if err != nil {
 			c.decodeErr++
 			if c.onErr != nil {
@@ -106,12 +110,27 @@ func (c *Conn) Send(dst Addr, m *Message) error {
 			}
 			return err
 		}
+		for _, seg := range msgs {
+			c.sendMarshaled(simDst, seg)
+		}
+		return nil
 	}
-	for _, seg := range msgs {
-		c.sent++
-		c.ep.Send(simDst, seg.Marshal())
-	}
+	c.sendMarshaled(simDst, m)
 	return nil
+}
+
+// sendMarshaled marshals one wire message into the Conn's scratch buffer
+// and hands it to the endpoint, which copies it into the in-flight
+// datagram before returning — so the scratch is free for the next send.
+func (c *Conn) sendMarshaled(dst simnet.Addr, m *Message) {
+	c.sent++
+	size := m.WireSize()
+	if cap(c.scratch) < size {
+		c.scratch = make([]byte, size)
+	}
+	buf := c.scratch[:size]
+	m.MarshalTo(buf)
+	c.ep.Send(dst, buf)
 }
 
 func (c *Conn) receive(dg simnet.Datagram) {
