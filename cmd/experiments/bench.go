@@ -11,6 +11,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/exp"
 	"repro/internal/logical"
+	"repro/internal/monitor"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
@@ -68,8 +69,9 @@ func summarize(name string, r testing.BenchmarkResult) benchResult {
 	return out
 }
 
-// runBench executes the selected suite ("kernel", "city", "federation"
-// or "all") and writes the combined JSON document to path.
+// runBench executes the selected suite ("kernel", "city",
+// "federation", "monitor" or "all") and writes the combined JSON
+// document to path.
 func runBench(path string, quick bool, suite string) {
 	var results []benchResult
 	if suite == "all" || suite == "kernel" {
@@ -80,6 +82,9 @@ func runBench(path string, quick bool, suite string) {
 	}
 	if suite == "all" || suite == "federation" {
 		results = append(results, federationSuite(quick)...)
+	}
+	if suite == "all" || suite == "monitor" {
+		results = append(results, monitorSuite(quick)...)
 	}
 	writeBenchFile(path, results)
 }
@@ -285,6 +290,66 @@ func federationSuite(quick bool) []benchResult {
 		}
 	}
 	runtime.GOMAXPROCS(prev)
+	return results
+}
+
+// monitorSuite runs the online-verification suite — the
+// BENCH_monitor.json reference: the engine hot path (mirroring
+// BenchmarkMonitor, allocs/op pinned at zero by the committed
+// reference) and the monitored mesh, whose byte-equality gate covers
+// the verdict report and whose checks/op metric is the observability
+// tax figure.
+func monitorSuite(quick bool) []benchResult {
+	var results []benchResult
+
+	// Mirrors BenchmarkMonitor (internal/monitor): one digest-only
+	// record through the full standard safety library — 0 allocs/op.
+	results = append(results, summarize("MonitorRecord", testing.Benchmark(func(b *testing.B) {
+		eng := monitor.NewEngine(
+			monitor.NoSilentCorruption(),
+			monitor.RespondedWithin(logical.Millisecond),
+			monitor.ReboundWithin(logical.Millisecond),
+		)
+		payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		eng.TraceEvent(0, "plat00.client", trace.KindServe, payload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.TraceEvent(logical.Time(i), "plat00.client", trace.KindServe, payload)
+		}
+	})))
+
+	// The monitored E16 mesh: every iteration runs federated with the
+	// safety library attached and must reproduce the single-kernel
+	// reference bytes — report and verdicts both.
+	cfg := exp.MonitorConfig{Partitions: 4, Seed: 1}
+	if quick {
+		cfg.Rounds = 6
+	}
+	single := cfg
+	single.Partitions = 1
+	ref, err := exp.RunScenario(exp.MonitoredSpec(single))
+	if err != nil {
+		log.Fatal(err)
+	}
+	refReport := ref.Report() + ref.VerdictReport()
+	results = append(results, summarize("MonitoredMesh", testing.Benchmark(func(b *testing.B) {
+		var checks, violations uint64
+		for i := 0; i < b.N; i++ {
+			res, err := exp.RunScenario(exp.MonitoredSpec(cfg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Report()+res.VerdictReport() != refReport {
+				b.Fatal("E16 determinism gate failed in -bench-json")
+			}
+			checks = res.MonitorChecks
+			violations = res.MonitorViolations
+		}
+		b.ReportMetric(float64(checks), "checks/op")
+		b.ReportMetric(float64(violations), "violations/op")
+	})))
+
 	return results
 }
 

@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-list] [-only <name>] [-scenario <file.json>]
+//	experiments [-quick] [-list] [-only <name>] [-scenario <file.json> [-monitors]]
 //	experiments [-quick] -trace <file>
 //	experiments -replay <file>
-//	experiments [-quick] -bench-json <file> [-bench-suite kernel|city|federation|all]
+//	experiments [-quick] -bench-json <file> [-bench-suite kernel|city|federation|monitor|all]
 //	experiments -fuzz <n> [-seed <s>] [-fuzz-out <dir>]
 //
 // Any workload mode additionally accepts -cpuprofile <file> and
@@ -17,7 +17,14 @@
 // shrinks workloads ~20×. -list prints the experiment registry and
 // exits. -scenario compiles and runs a declarative JSON scenario spec
 // (see examples/scenarios/) through the scenario engine instead of the
-// built-in registry; it is mutually exclusive with -only. -trace
+// built-in registry; it is mutually exclusive with -only. -monitors
+// attaches the standard online safety library (no silent corruption,
+// responded-within, rebound-within; deadlines derived from the spec's
+// own timing unless the spec carries its own monitors block) to the
+// -scenario run: a violation prints the verdicts, dumps the canonical
+// trace prefix up to the first violation to <file>.violation.trace for
+// offline re-evaluation, and exits nonzero — the same contract as the
+// -replay divergence path. -trace
 // records a live loopback (real UDP) run and writes its logical event
 // trace to a file; -replay re-executes a recorded trace inside the
 // deterministic simulator and exits nonzero if the replayed outputs
@@ -28,7 +35,9 @@
 // microbenchmarks, BENCH_kernel.json), "city" (city scale + trace
 // recording, BENCH_city.json), "federation" (the E10 scaling workload
 // across a GOMAXPROCS x partitions matrix, BENCH_federation.json, which
-// CI gates coordination cost and allocation budgets against), or "all"
+// CI gates coordination cost and allocation budgets against),
+// "monitor" (the online-verification hot path and the monitored mesh
+// with its checks/op diagnostic, BENCH_monitor.json), or "all"
 // (the default). -bench-fed-json <file> is a deprecated alias for
 // -bench-json <file> -bench-suite federation. -fuzz runs a seeded
 // offline fuzzing campaign of n generated scenario specs through the
@@ -68,6 +77,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment")
 	list := flag.Bool("list", false, "print the experiment registry and exit")
 	scenarioFile := flag.String("scenario", "", "compile and run a declarative JSON scenario spec")
+	monitors := flag.Bool("monitors", false, "attach the standard online safety monitors to the -scenario run (nonzero exit + trace-prefix dump on violation)")
 	traceFile := flag.String("trace", "", "record a live loopback run and write its trace to this file")
 	replayFile := flag.String("replay", "", "replay a recorded trace file in the simulator and verify outputs")
 	benchJSON := flag.String("bench-json", "", "run the benchmark suites and write machine-readable results to this file")
@@ -319,6 +329,53 @@ func main() {
 			fmt.Println("interest-based SD keeps the control plane sub-quadratic; the report is one fixed-size row per platform")
 		}},
 
+		{"monitors", "E16: online runtime verification — deterministic verdicts, violation repro", func() {
+			seeds := 3
+			parts := []int{1, 2, 4}
+			if *quick {
+				seeds = 2
+			}
+			cfg := exp.MonitorConfig{}
+			reports, err := exp.RunMonitorDeterminismCheck(1, seeds, cfg, parts)
+			if err != nil {
+				log.Fatalf("E16 determinism gate FAILED: %v", err)
+			}
+			fmt.Printf("E16 determinism gate: monitor verdicts byte-identical across %d seeds × partitions %v\n",
+				seeds, parts)
+			fmt.Printf("reference verdicts (seed 1):\n%s", tailLines(reports[0], 4))
+
+			// The violation-repro round trip: a deliberately broken spec
+			// trips the responded-within monitor, the violated run dumps
+			// its trace prefix, and offline re-evaluation of the dump
+			// reproduces the violation.
+			res, err := exp.RunScenario(exp.BrokenMonitoredSpec(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.MonitorViolations == 0 {
+				log.Fatal("E16 non-vacuity FAILED: the broken spec tripped no monitor")
+			}
+			dump, err := os.CreateTemp("", "e16-violation-*.trace")
+			if err != nil {
+				log.Fatal(err)
+			}
+			dump.Close()
+			defer os.Remove(dump.Name())
+			first, err := exp.DumpViolationPrefix(res, dump.Name())
+			if err != nil {
+				log.Fatal(err)
+			}
+			replayed, err := exp.ReplayViolationDump(dump.Name(), exp.BrokenMonitoredSpec(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !exp.ContainsViolation(replayed, first) {
+				log.Fatalf("E16 violation repro FAILED: replayed verdicts do not contain %s", first)
+			}
+			fmt.Printf("violation repro: broken spec tripped %d violations; dumped prefix replays to the same first violation (%s)\n",
+				res.MonitorViolations, first)
+		}},
+
 		{"topo", "E12: topology sweep (star/ring/tree/random-regular × partitions)", func() {
 			res, err := exp.RunTopologySweep(1, topoCfg)
 			if err != nil {
@@ -382,9 +439,9 @@ func main() {
 			path, suite = *benchFedJSON, "federation"
 		}
 		switch suite {
-		case "all", "kernel", "city", "federation":
+		case "all", "kernel", "city", "federation", "monitor":
 		default:
-			fmt.Fprintf(os.Stderr, "experiments: unknown -bench-suite %q; valid choices: kernel, city, federation, all\n", suite)
+			fmt.Fprintf(os.Stderr, "experiments: unknown -bench-suite %q; valid choices: kernel, city, federation, monitor, all\n", suite)
 			os.Exit(2)
 		}
 		runBench(path, *quick, suite)
@@ -403,12 +460,16 @@ func main() {
 		return
 	}
 
+	if *monitors && *scenarioFile == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -monitors attaches the safety library to a spec run and requires -scenario")
+		os.Exit(2)
+	}
 	if *scenarioFile != "" {
 		if *only != "" {
 			fmt.Fprintln(os.Stderr, "experiments: -scenario and -only are mutually exclusive (a JSON spec replaces the registry)")
 			os.Exit(2)
 		}
-		runScenarioFile(*scenarioFile)
+		runScenarioFile(*scenarioFile, *monitors)
 		return
 	}
 
@@ -486,7 +547,12 @@ func runTraceReplay(path string) {
 // canonical world description, executes it at the spec's partition
 // count, and — when the spec asks for a federated run — verifies the
 // byte-equality determinism gate against the single-kernel reference.
-func runScenarioFile(path string) {
+// With monitors set, the standard online safety library rides the run
+// (unless the spec carries its own monitors block, which wins); a
+// violation dumps the trace prefix up to the first violation to
+// <path>.violation.trace and exits nonzero, mirroring the -replay
+// divergence contract.
+func runScenarioFile(path string, monitors bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -494,6 +560,9 @@ func runScenarioFile(path string) {
 	spec, err := scenario.ParseSpec(data)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if monitors && spec.Monitors == nil {
+		spec.Monitors = scenario.DefaultMonitors(spec)
 	}
 	desc, err := scenario.Describe(spec)
 	if err != nil {
@@ -506,8 +575,24 @@ func runScenarioFile(path string) {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Report())
+	if len(res.Verdicts) > 0 {
+		fmt.Print(res.VerdictReport())
+	}
 	fmt.Printf("(%d partitions, %d events, %d coordination rounds, %v)\n",
 		res.Partitions, res.EventsFired, res.CoordRounds, time.Since(t0).Round(time.Millisecond))
+	if res.MonitorViolations > 0 {
+		dumpPath := path + ".violation.trace"
+		first, dumpErr := exp.DumpViolationPrefix(res, dumpPath)
+		if dumpErr != nil {
+			log.Fatalf("monitor gate FAILED: %d violations (prefix dump failed: %v)",
+				res.MonitorViolations, dumpErr)
+		}
+		log.Fatalf("monitor gate FAILED: %d violations; first: %s\ntrace prefix dumped to %s (re-evaluate offline with monitor.Evaluate)",
+			res.MonitorViolations, first, dumpPath)
+	}
+	if len(res.Verdicts) > 0 {
+		fmt.Printf("monitor gate: %d obligations checked, 0 violations\n", res.MonitorChecks)
+	}
 	if res.Partitions > 1 {
 		div, err := exp.CompareSpecModes(spec, []int{res.Partitions}, nil)
 		if err != nil {
@@ -518,4 +603,14 @@ func runScenarioFile(path string) {
 		}
 		fmt.Println("determinism gate: federated report and trace byte-identical to single-kernel run")
 	}
+}
+
+// tailLines returns the last n lines of s (all of s when shorter) —
+// used to surface the verdict block of a combined report.
+func tailLines(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/logical"
+	"repro/internal/monitor"
 	"repro/internal/reactor"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
@@ -507,6 +508,80 @@ func WriteTraceFile(path string, t *Trace) error { return trace.WriteFile(path, 
 
 // ReadTraceFile loads a binary trace file.
 func ReadTraceFile(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// --- Runtime monitors ---
+
+// Monitor is one online temporal property evaluated over a trace
+// stream. Monitors are stateful and single-use: build a fresh instance
+// per engine.
+type Monitor = monitor.Monitor
+
+// MonitorEngine evaluates monitors over a live trace stream at zero
+// allocations per event; it implements KernelTracer (attach next to a
+// recorder via KernelTeeTracer) and the recorder's tap.
+type MonitorEngine = monitor.Engine
+
+// MonitorVerdict is one monitor's outcome: obligations checked,
+// violations counted, a commutative violation hash, and the
+// canonically smallest violation samples — all mode-independent.
+type MonitorVerdict = monitor.Verdict
+
+// MonitorViolation names one violated obligation, anchored at the
+// trace record (time, component, sequence) that opened it.
+type MonitorViolation = monitor.Violation
+
+// ScenarioMonitors is a Scenario's declarative monitors block: which
+// standard safety properties to verify online, with their deadlines.
+type ScenarioMonitors = scenario.MonitorSpec
+
+// NewMonitorEngine returns an engine evaluating freshly built
+// monitors; call Finish at end of run, then Verdicts.
+func NewMonitorEngine(monitors ...Monitor) *MonitorEngine { return monitor.NewEngine(monitors...) }
+
+// KernelTeeTracer fans one kernel's trace stream out to several
+// tracer hooks (e.g. a TraceRecorder and a MonitorEngine); nil sinks
+// are dropped.
+func KernelTeeTracer(sinks ...KernelTracer) KernelTracer { return des.TeeTracer(sinks...) }
+
+// MonitorAlways requires every record to satisfy the predicate.
+func MonitorAlways(name string, p monitor.Pred) Monitor { return monitor.Always(name, p) }
+
+// MonitorNever forbids any record satisfying the predicate.
+func MonitorNever(name string, p monitor.Pred) Monitor { return monitor.Never(name, p) }
+
+// MonitorMatchedWithin requires every openKind record to be followed,
+// on the same component, by one of closeKinds within d.
+func MonitorMatchedWithin(name, openKind string, closeKinds []string, d Duration) Monitor {
+	return monitor.MatchedWithin(name, openKind, closeKinds, d)
+}
+
+// MonitorNoSilentCorruption is the standard "no silent corruption
+// ever" safety monitor.
+func MonitorNoSilentCorruption() Monitor { return monitor.NoSilentCorruption() }
+
+// MonitorRespondedWithin is the standard "every request answered or
+// observably timed out within d" safety monitor.
+func MonitorRespondedWithin(d Duration) Monitor { return monitor.RespondedWithin(d) }
+
+// MonitorReboundWithin is the standard "every restart re-bound within
+// d" safety monitor.
+func MonitorReboundWithin(d Duration) Monitor { return monitor.ReboundWithin(d) }
+
+// MonitorEvaluate runs freshly built monitors over a recorded trace
+// offline — the replay half of the violation dump/replay round trip.
+func MonitorEvaluate(t *Trace, monitors ...Monitor) []MonitorVerdict {
+	return monitor.Evaluate(t, monitors...)
+}
+
+// MergeMonitorVerdicts folds per-engine verdict groups (one per
+// partition kernel) into the mode-independent whole.
+func MergeMonitorVerdicts(groups ...[]MonitorVerdict) []MonitorVerdict {
+	return monitor.MergeVerdicts(groups...)
+}
+
+// DefaultScenarioMonitors enables the full standard safety library
+// with deadlines derived from the spec's own timing model.
+func DefaultScenarioMonitors(spec Scenario) *ScenarioMonitors { return scenario.DefaultMonitors(spec) }
 
 // --- Physical substrate ---
 

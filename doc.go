@@ -158,4 +158,27 @@
 // ones record-for-record. Experiment E13 runs exactly this gate over
 // a real-UDP loopback run (`go run ./cmd/experiments -trace f`, then
 // `-replay f`).
+//
+// # Online runtime verification
+//
+// Monitors (internal/monitor, experiment E16) verify temporal safety
+// properties over the live trace stream as it is recorded: a
+// MonitorEngine tees off the same kernel tracer hook as the recorder
+// (KernelTeeTracer) — or taps a live recording via
+// Recorder.SetTap — and evaluates combinator-built monitors
+// (MonitorAlways, MonitorNever, MonitorMatchedWithin) at zero
+// allocations per event. The standard safety library — no silent
+// corruption, responded-within-deadline, rebound-within-deadline — is
+// declared per scenario through the Scenario's Monitors block, and
+// verdicts are mode-independent: merged federated verdicts equal the
+// single-kernel engine's byte-for-byte. A violated run dumps the
+// canonical trace prefix up to the violation's anchoring record, which
+// replays offline (MonitorEvaluate) to the same violation:
+//
+//	spec.Monitors = dear.DefaultScenarioMonitors(spec)
+//	world, _ := dear.BuildScenario(spec)
+//	world.Run()
+//	for _, v := range world.Verdicts() {
+//	    if !v.OK() { fmt.Println(v.Monitor, v.Violations) }
+//	}
 package dear

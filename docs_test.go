@@ -24,7 +24,7 @@ import (
 
 // auditedPackages are the directories whose exported identifiers must
 // all be documented.
-var auditedPackages = []string{"internal/des", "internal/simnet", "internal/trace"}
+var auditedPackages = []string{"internal/des", "internal/simnet", "internal/trace", "internal/monitor"}
 
 func TestDocsGodocCoverage(t *testing.T) {
 	for _, dir := range auditedPackages {

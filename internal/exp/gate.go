@@ -122,9 +122,12 @@ func (m *ModeDivergence) String() string {
 // the -scenario CLI gate: it runs the spec once on a single kernel
 // (the reference) and then federated at every requested partition
 // count × GOMAXPROCS value, requiring byte-identical canonical reports
-// AND byte-identical canonical traces. It returns the first violation
-// (nil when every mode agrees); the error return is reserved for specs
-// that fail to compile or run.
+// AND byte-identical canonical traces — and, for specs with a monitors
+// block, byte-identical monitor verdict reports (the merged verdicts
+// must match the single-kernel engine's exactly, which is how fuzzed
+// monitor-bearing specs keep monitor determinism fuzz-checked). It
+// returns the first violation (nil when every mode agrees); the error
+// return is reserved for specs that fail to compile or run.
 //
 // partitionCounts defaults to {2, 4}; entries ≤ 1 and counts that
 // collapse to an already-run effective partition count (the compiler
@@ -147,7 +150,10 @@ func CompareSpecModes(spec scenario.Spec, partitionCounts, procs []int) (*ModeDi
 	if err != nil {
 		return nil, fmt.Errorf("exp: single-kernel reference: %w", err)
 	}
-	refReport := ref.Report()
+	// The compared string is the canonical report plus the verdict
+	// report (empty for monitor-free specs) — one byte-equality check
+	// covers both contracts without perturbing monitor-free bytes.
+	refReport := ref.Report() + ref.VerdictReport()
 	seen := map[int]bool{1: true}
 	for _, p := range partitionCounts {
 		eff := p
@@ -171,7 +177,7 @@ func CompareSpecModes(spec scenario.Spec, partitionCounts, procs []int) (*ModeDi
 				Partitions: res.Partitions,
 				Procs:      gp,
 				RefReport:  refReport,
-				Report:     res.Report(),
+				Report:     res.Report() + res.VerdictReport(),
 			}
 			if ref.Trace != nil && res.Trace != nil {
 				md.Div = trace.FirstDivergence(ref.Trace, res.Trace)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/logical"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -89,6 +90,20 @@ type MeshResult struct {
 	// membership lists (mode-dependent); the E14 city gate tracks its
 	// growth against the platform count.
 	CtrlFanout uint64
+
+	// Verdicts are the merged monitor verdicts of a monitored run (nil
+	// without a monitors block). Verdicts are mode-independent — the
+	// E16 gate compares VerdictReport alongside Report — but live
+	// outside the canonical Report so monitor-free gates keep their
+	// historical bytes.
+	Verdicts []monitor.Verdict
+	// MonitorChecks totals the obligations the monitors examined —
+	// the checks/op diagnostic benchmarks report.
+	MonitorChecks uint64
+	// MonitorViolations totals detected property breaches. A
+	// violation-free monitored run has MonitorChecks > 0 and
+	// MonitorViolations == 0.
+	MonitorViolations uint64
 }
 
 // Report renders the canonical, mode-independent report: two runs are
@@ -108,6 +123,14 @@ func (r *MeshResult) Report() string {
 	}
 	b.WriteString(scenario.StatsReport(r.Rows))
 	return b.String()
+}
+
+// VerdictReport renders the merged monitor verdicts canonically (empty
+// without a monitors block). Mode-independent like Report — the E16
+// sweep and CompareSpecModes compare both — but kept separate so
+// monitor-free gates' golden report bytes never change.
+func (r *MeshResult) VerdictReport() string {
+	return monitor.Report(r.Verdicts)
 }
 
 // Table renders the per-platform breakdown for the experiment report.
@@ -133,6 +156,12 @@ func RunScenario(spec scenario.Spec) (*MeshResult, error) {
 	}
 	w.Run()
 	ctrlSends, ctrlFanout := w.ControlPlane()
+	verdicts := w.Verdicts()
+	var checks, violations uint64
+	for i := range verdicts {
+		checks += verdicts[i].Checked
+		violations += verdicts[i].Violations
+	}
 	return &MeshResult{
 		Seed:          w.Spec.Seed,
 		Config:        w.Spec,
@@ -147,6 +176,10 @@ func RunScenario(spec scenario.Spec) (*MeshResult, error) {
 		Dropped:       w.Dropped(),
 		CtrlSends:     ctrlSends,
 		CtrlFanout:    ctrlFanout,
+
+		Verdicts:          verdicts,
+		MonitorChecks:     checks,
+		MonitorViolations: violations,
 	}, nil
 }
 

@@ -166,6 +166,30 @@ func Gen(seed, i uint64) scenario.Spec {
 	if faulty || crashed || d.chance(0.3) {
 		spec.CallTimeout = pick[logical.Duration](d, 2, 5, 20) * logical.Millisecond
 	}
+
+	// Monitor-bearing specs make CompareSpecModes compare verdict
+	// streams alongside reports and traces, so online-verification
+	// determinism is fuzz-checked like everything else. Deadlines are
+	// drawn tight and loose on purpose: violated runs are just as valid
+	// a determinism subject as clean ones — the verdict bytes must
+	// agree across modes either way.
+	if d.chance(0.4) {
+		m := &scenario.MonitorSpec{}
+		if d.chance(0.7) {
+			m.NoSilentCorruption = true
+		}
+		if d.chance(0.7) {
+			m.RespondedWithin = pick[logical.Duration](d, 1, 2, 5, 20) * logical.Millisecond
+		}
+		if d.chance(0.5) {
+			m.ReboundWithin = pick[logical.Duration](d, 1, 2, 8) * logical.Millisecond
+		}
+		// An all-zero block would normalize away; keep the spec as a
+		// user could have written it.
+		if m.NoSilentCorruption || m.RespondedWithin > 0 || m.ReboundWithin > 0 {
+			spec.Monitors = m
+		}
+	}
 	return spec
 }
 

@@ -42,7 +42,7 @@ func TestGenDeterministic(t *testing.T) {
 func TestGenCoversEdges(t *testing.T) {
 	const iters = 400
 	shapes := map[scenario.Shape]bool{}
-	var minPlatforms, degreeCap, zeroNoise, zeroGap, faulted, crashed, restarted int
+	var minPlatforms, degreeCap, zeroNoise, zeroGap, faulted, crashed, restarted, monitored int
 	for i := uint64(0); i < iters; i++ {
 		s := Gen(1, i)
 		shapes[s.Topology] = true
@@ -67,11 +67,15 @@ func TestGenCoversEdges(t *testing.T) {
 				restarted++
 			}
 		}
+		if s.Monitors != nil {
+			monitored++
+		}
 	}
 	for name, count := range map[string]int{
 		"2-platform floor": minPlatforms, "degree cap": degreeCap,
 		"zero noise": zeroNoise, "zero gap": zeroGap,
 		"fault plan": faulted, "crash plan": crashed, "restart": restarted,
+		"monitors": monitored,
 	} {
 		if count < iters/20 {
 			t.Errorf("edge %q reached only %d/%d times", name, count, iters)

@@ -30,6 +30,13 @@ var reductions = []reduction{
 		s.Crash = nil
 		return s, true
 	}},
+	{"drop-monitors", func(s scenario.Spec) (scenario.Spec, bool) {
+		if s.Monitors == nil {
+			return s, false
+		}
+		s.Monitors = nil
+		return s, true
+	}},
 	{"drop-restart", func(s scenario.Spec) (scenario.Spec, bool) {
 		if s.Crash == nil || s.Crash.RestartAt == 0 {
 			return s, false

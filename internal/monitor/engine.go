@@ -1,0 +1,112 @@
+package monitor
+
+import (
+	"sync"
+
+	"repro/internal/logical"
+	"repro/internal/trace"
+)
+
+// Engine feeds a trace stream to a set of monitors online. It
+// satisfies des.Tracer and trace.Tap structurally (without importing
+// either consumer), so it attaches to a simulated kernel via
+// des.TeeTracer alongside a trace.Recorder, or to a live
+// RecordingEndpoint stream via Recorder.SetTap — the identical engine
+// in both worlds, which is what makes the layer observability rather
+// than a test harness.
+//
+// The hot path mirrors the recorder's: one mutex, a per-component
+// sequence map, and a scratch record reused across events — zero
+// allocations once every component has been seen
+// (TestMonitorZeroAllocs). Monitors run under the engine lock and must
+// not call back into the engine or the kernel.
+//
+// An Engine (like its monitors) is single-use: under a federation each
+// partition kernel gets its own engine, and MergeVerdicts folds the
+// per-engine verdicts into the mode-independent whole.
+type Engine struct {
+	mu       sync.Mutex
+	seqs     map[string]uint64
+	scratch  trace.Record
+	monitors []Monitor
+	reps     []*Reporter
+	done     bool
+}
+
+// NewEngine returns an engine evaluating the given monitors. Monitors
+// are stateful — pass freshly built instances, never ones shared with
+// another engine.
+func NewEngine(monitors ...Monitor) *Engine {
+	e := &Engine{
+		seqs:     make(map[string]uint64),
+		monitors: monitors,
+		reps:     make([]*Reporter, len(monitors)),
+	}
+	for i, m := range monitors {
+		e.reps[i] = &Reporter{v: Verdict{Monitor: m.Name()}}
+	}
+	return e
+}
+
+// TraceEvent is the des.Tracer / trace.Tap hook: it stamps the event
+// with the component's next sequence number (mirroring the recorder's
+// assignment, so anchors in verdicts name the same records a recorded
+// trace holds) and feeds it to every monitor. Events arriving after
+// Finish are ignored.
+func (e *Engine) TraceEvent(at logical.Time, component, kind string, payload []byte) {
+	d := trace.Digest(payload)
+	e.mu.Lock()
+	if e.done {
+		e.mu.Unlock()
+		return
+	}
+	seq := e.seqs[component] + 1
+	e.seqs[component] = seq
+	e.scratch = trace.Record{Time: at, Seq: seq, Component: component, Kind: kind, Digest: d}
+	for i, m := range e.monitors {
+		m.Observe(&e.scratch, e.reps[i])
+	}
+	e.mu.Unlock()
+}
+
+// Observe feeds an already-sequenced record (e.g. from a decoded trace
+// during replay) to every monitor, bypassing sequence assignment.
+func (e *Engine) Observe(r *trace.Record) {
+	e.mu.Lock()
+	if e.done {
+		e.mu.Unlock()
+		return
+	}
+	for i, m := range e.monitors {
+		m.Observe(r, e.reps[i])
+	}
+	e.mu.Unlock()
+}
+
+// Finish flushes every monitor's pending obligations (flagging them as
+// unresolved — see the package comment) and freezes the engine. It is
+// idempotent; events arriving afterwards are dropped.
+func (e *Engine) Finish() {
+	e.mu.Lock()
+	if !e.done {
+		e.done = true
+		for i, m := range e.monitors {
+			m.Flush(e.reps[i])
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Verdicts returns a copy of every monitor's verdict, in registration
+// order. Call Finish first for final verdicts; mid-run the verdicts
+// reflect the stream so far (pending obligations not yet flagged).
+func (e *Engine) Verdicts() []Verdict {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Verdict, len(e.reps))
+	for i, rp := range e.reps {
+		out[i] = rp.v
+		out[i].Samples = append([]Violation(nil), rp.v.Samples...)
+	}
+	return out
+}

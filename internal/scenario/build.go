@@ -7,6 +7,7 @@ import (
 	"repro/internal/ara"
 	"repro/internal/des"
 	"repro/internal/logical"
+	"repro/internal/monitor"
 	"repro/internal/simnet"
 	"repro/internal/someip"
 	"repro/internal/trace"
@@ -69,6 +70,13 @@ type World struct {
 	// recorders hold one trace recorder per kernel (a single entry on
 	// the classic substrate, one per partition under a federation).
 	recorders []*trace.Recorder
+	// engines hold one monitor engine per kernel when the spec's
+	// monitors block is set, teed onto the same tracer hook as the
+	// recorder (see buildSubstrate).
+	engines []*monitor.Engine
+	// monitorsDone marks that the engines have been finished (flushed);
+	// Verdicts sets it so repeated calls stay idempotent.
+	monitorsDone bool
 }
 
 // Build compiles the spec into a runnable world. Partitions ≤ 1
@@ -147,8 +155,15 @@ func Build(spec Spec) (*World, error) {
 	if cp := norm.Crash; cp != nil {
 		host := w.Hosts[cp.Platform]
 		host.Crash(cp.At)
+		// Lifecycle trace points ride the platform's own kernel so the
+		// crash/restart/bind records form one component stream — the
+		// rebound-within monitor pairs restart with the re-offer's bind.
+		lk := w.Runtimes[cp.Platform].Kernel()
+		lifeLabel := HostName(cp.Platform) + ".life"
+		lk.At(cp.At, func() { lk.Trace(lifeLabel, trace.KindCrash, nil) })
 		if cp.RestartAt > cp.At {
 			host.Restart(cp.RestartAt, func() {
+				lk.Trace(lifeLabel, trace.KindRestart, nil)
 				// Rebuild the platform's stack from scratch, as a rebooted
 				// AP node would: fresh runtime (distinct name — stream
 				// labels must not collide with the dead incarnation),
@@ -165,12 +180,14 @@ func Build(spec Spec) (*World, error) {
 }
 
 // traceCapacity bounds the trace ring for one run: every client call
-// yields exactly one call (or call-err) record plus at most one serve
-// record, every noise delivery one record, plus slack for reborn
-// clients. Complete traces are a determinism requirement (eviction is
-// mode-dependent), so the estimate is computed from the actual
+// yields exactly one req record and one call (or call-err) record plus
+// at most one serve record, every noise delivery one record, every
+// platform one lifecycle bind, plus slack for reborn clients and the
+// crash plan. Complete traces are a determinism requirement (eviction
+// is mode-dependent), so the estimate is computed from the actual
 // generated edges — Degree alone undercounts the Full shape, whose
-// clients call all n-1 peers — and errs high.
+// clients call all n-1 peers — and errs high (2× over the exact
+// three-records-per-call count).
 func (w *World) traceCapacity() int {
 	spec := w.Spec
 	rounds := spec.Rounds
@@ -181,18 +198,19 @@ func (w *World) traceCapacity() int {
 	for _, edges := range w.Edges {
 		targets += len(edges)
 	}
-	return 4*rounds*targets + spec.Platforms*spec.NoiseEvents + 256
+	return 6*rounds*targets + spec.Platforms*(spec.NoiseEvents+1) + 256
 }
 
 // traceCapacityPartition bounds the trace ring for the platforms pinned
 // to one partition (platform i lives on partition i % partitions): the
-// partition records its own clients' call/call-err records (outbound
-// edges), its own servers' serve records (inbound edges) and its own
-// noise deliveries. Sized per partition instead of handing every
-// recorder the full global capacity, the federation's total ring memory
-// matches the single-kernel ring instead of multiplying it by the
-// partition count — with the same 2× slack over the exact record count,
-// because eviction anywhere is a mode-dependence bug.
+// partition records its own clients' req and call/call-err records
+// (outbound edges, two records per call), its own servers' serve
+// records (inbound edges), its own lifecycle binds and its own noise
+// deliveries. Sized per partition instead of handing every recorder
+// the full global capacity, the federation's total ring memory matches
+// the single-kernel ring instead of multiplying it by the partition
+// count — with the same 2× slack over the exact record count, because
+// eviction anywhere is a mode-dependence bug.
 func (w *World) traceCapacityPartition(part, partitions int) int {
 	spec := w.Spec
 	rounds := spec.Rounds
@@ -211,7 +229,7 @@ func (w *World) traceCapacityPartition(part, partitions int) int {
 			}
 		}
 	}
-	return 2*rounds*(out+in) + noisy*spec.NoiseEvents + 256
+	return 2*rounds*(2*out+in) + noisy*(spec.NoiseEvents+1) + 256
 }
 
 // buildSubstrate creates the kernel(s), the network (or cluster), the
@@ -223,10 +241,24 @@ func (w *World) buildSubstrate() error {
 		SwitchDelay:    spec.SwitchDelay,
 		Faults:         spec.Faults,
 	}
+	// newEngine builds one monitor engine per kernel when the spec has
+	// a monitors block; the engine tees onto the recorder's tracer hook
+	// so recording and online verification observe the identical
+	// stream. Each engine gets freshly built (stateful) monitors. The
+	// return type is the interface so "no monitors" is an untyped nil
+	// that TeeTracer drops.
+	newEngine := func() des.Tracer {
+		if spec.Monitors == nil {
+			return nil
+		}
+		eng := monitor.NewEngine(spec.Monitors.Build()...)
+		w.engines = append(w.engines, eng)
+		return eng
+	}
 	if spec.Partitions <= 1 {
 		w.single = des.NewKernel(spec.Seed)
 		rec := trace.NewRecorder(w.traceCapacity())
-		w.single.SetTracer(rec)
+		w.single.SetTracer(des.TeeTracer(rec, newEngine()))
 		w.recorders = []*trace.Recorder{rec}
 		w.net = simnet.NewNetwork(w.single, netCfg)
 		for i := 0; i < spec.Platforms; i++ {
@@ -237,7 +269,7 @@ func (w *World) buildSubstrate() error {
 	w.fed = des.NewFederation(spec.Seed, spec.Partitions)
 	for i := 0; i < w.fed.Partitions(); i++ {
 		rec := trace.NewRecorder(w.traceCapacityPartition(i, spec.Partitions))
-		w.fed.Kernel(i).SetTracer(rec)
+		w.fed.Kernel(i).SetTracer(des.TeeTracer(rec, newEngine()))
 		w.recorders = append(w.recorders, rec)
 	}
 	// Cross-partition traffic in a compiled world flows only along call
@@ -310,7 +342,16 @@ func (w *World) buildServer(i int, name string) (*ara.Runtime, error) {
 	}
 	k := rt.Kernel()
 	serveLabel := HostName(i) + ".server"
+	lifeLabel := HostName(i) + ".life"
 	if err := sk.Handle("compute", func(c *ara.Ctx, args []byte) ([]byte, error) {
+		if corruptCheck != nil && corruptCheck(args) {
+			// The integrity check failed without a structural refusal:
+			// emit the corruption sentinel the no-silent-corruption
+			// monitor watches for. Only the test hook ever sets the
+			// check — the DEAR model refuses corrupt inputs structurally,
+			// so production handlers never reach this line.
+			k.Trace(serveLabel, trace.KindCorrupt, args)
+		}
 		rows[i].Served++
 		h := fnvOffset
 		for _, by := range args {
@@ -337,9 +378,17 @@ func (w *World) buildServer(i int, name string) (*ara.Runtime, error) {
 		return nil, err
 	}
 	if k.Now() == 0 {
-		k.At(0, func() { sk.Offer() })
+		k.At(0, func() {
+			sk.Offer()
+			// The bind record closes a rebound-within obligation on the
+			// lifecycle component. The initial bind has no preceding
+			// restart, so the monitor ignores it; the restart path's bind
+			// (below, k.Now() > 0) is the one that discharges.
+			k.Trace(lifeLabel, trace.KindBind, nil)
+		})
 	} else {
 		sk.Offer()
+		k.Trace(lifeLabel, trace.KindBind, nil)
 	}
 
 	// Local noise sink: dense intra-platform load, hashed into the
@@ -415,6 +464,10 @@ func (w *World) spawnClient(rt *ara.Runtime, i, rounds int, marker uint64) {
 				binary.BigEndian.PutUint16(req[2:], uint16(targets[t]))
 				binary.BigEndian.PutUint32(req[4:], uint32(round))
 				binary.BigEndian.PutUint32(req[8:], uint32(t))
+				// The request-issue record opens the responded-within
+				// obligation its later call/call-err record discharges —
+				// same component, so the pairing is mode-independent.
+				k.Trace(callLabel, trace.KindReq, req[:])
 				t0 := c.Now()
 				fut := px.Call("compute", req[:])
 				var resp []byte
@@ -476,6 +529,27 @@ func (w *World) Describe() string {
 		panic(err)
 	}
 	return d
+}
+
+// Verdicts finishes the per-kernel monitor engines (flushing pending
+// obligations — idempotent, so repeated calls return the same result)
+// and merges their verdicts into the mode-independent whole. It
+// returns nil when the spec has no monitors block. Call it after Run.
+func (w *World) Verdicts() []monitor.Verdict {
+	if len(w.engines) == 0 {
+		return nil
+	}
+	if !w.monitorsDone {
+		w.monitorsDone = true
+		for _, e := range w.engines {
+			e.Finish()
+		}
+	}
+	groups := make([][]monitor.Verdict, len(w.engines))
+	for i, e := range w.engines {
+		groups[i] = e.Verdicts()
+	}
+	return monitor.MergeVerdicts(groups...)
 }
 
 // Trace merges the per-kernel recorders into the canonical logical

@@ -1,0 +1,25 @@
+package scenario
+
+// Deliberate corruption injection, for testing the no-silent-
+// corruption monitor's non-vacuity. The DEAR model refuses corrupt
+// inputs structurally, so a correct world never emits the KindCorrupt
+// sentinel — which means the monitor that watches for it would pass
+// vacuously forever unless a test can force the sentinel out. The hook
+// mirrors chaos.go: nil in production (one pointer test on the serve
+// path), installable only from a test.
+
+// corruptCheck, when non-nil, is the integrity predicate every compute
+// handler applies to its request bytes; a true return emits the
+// corruption sentinel record. Installed only by
+// EnableCorruptionForTesting.
+var corruptCheck func(args []byte) bool
+
+// EnableCorruptionForTesting installs an integrity check that flags
+// every compute request as corrupt — tripping the no-silent-corruption
+// monitor on any workload with at least one call — and returns a
+// restore func that removes it. Process-global, like the chaos hook;
+// not safe for concurrent worlds with different expectations.
+func EnableCorruptionForTesting() (restore func()) {
+	corruptCheck = func([]byte) bool { return true }
+	return func() { corruptCheck = nil }
+}

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/logical"
+	"repro/internal/monitor"
 	"repro/internal/simnet"
 )
 
@@ -141,6 +142,76 @@ type Spec struct {
 	Faults *simnet.FaultPlan `json:"faults,omitempty"`
 	// Crash (optional) schedules a platform crash and restart.
 	Crash *CrashPlan `json:"crash,omitempty"`
+	// Monitors (optional) attaches online runtime-verification
+	// monitors from the standard safety library to every kernel of the
+	// compiled world (see internal/monitor). Verdicts are
+	// mode-independent and surface through World.Verdicts.
+	Monitors *MonitorSpec `json:"monitors,omitempty"`
+}
+
+// MonitorSpec is the declarative monitors block of a Spec: which of
+// the standard safety properties to evaluate online, and with what
+// deadlines. A zero deadline disables that monitor; an all-zero block
+// normalizes to nil (no monitoring). DefaultMonitors derives deadlines
+// from the spec's own timing parameters.
+type MonitorSpec struct {
+	// NoSilentCorruption enables the "no silent corruption ever"
+	// monitor: the corrupt-input sentinel must never appear.
+	NoSilentCorruption bool `json:"noSilentCorruption,omitempty"`
+	// RespondedWithin is the "answered-or-observably-timed-out" bound:
+	// every issued request must complete (or fail observably) within
+	// this deadline. Zero disables the monitor.
+	RespondedWithin logical.Duration `json:"respondedWithinNs,omitempty"`
+	// ReboundWithin is the "re-bind within T of restart" bound: a
+	// restarted platform must re-offer its service within this
+	// deadline. Zero disables the monitor.
+	ReboundWithin logical.Duration `json:"reboundWithinNs,omitempty"`
+}
+
+// enabled reports whether any monitor is switched on.
+func (m *MonitorSpec) enabled() bool {
+	return m.NoSilentCorruption || m.RespondedWithin > 0 || m.ReboundWithin > 0
+}
+
+// Build instantiates fresh monitor instances for one engine. Monitors
+// are stateful, so every kernel's engine needs its own Build call.
+func (m *MonitorSpec) Build() []monitor.Monitor {
+	var out []monitor.Monitor
+	if m.NoSilentCorruption {
+		out = append(out, monitor.NoSilentCorruption())
+	}
+	if m.RespondedWithin > 0 {
+		out = append(out, monitor.RespondedWithin(m.RespondedWithin))
+	}
+	if m.ReboundWithin > 0 {
+		out = append(out, monitor.ReboundWithin(m.ReboundWithin))
+	}
+	return out
+}
+
+// DefaultMonitors returns the standard safety library with deadlines
+// derived from the spec's own timing model — the block the
+// cmd/experiments -monitors flag attaches to any scenario. The
+// responded-within bound allows the full timeout (when one is set)
+// plus one round trip of slack; without a timeout every call resolves
+// by completion, so the bound is a generous multiple of the worst-case
+// serialized round trip. The rebound bound covers a restart's re-offer
+// latency (immediate in compiled worlds, so one round trip of slack).
+func DefaultMonitors(s Spec) *MonitorSpec {
+	n, err := s.normalized()
+	if err != nil {
+		n = s
+	}
+	perCall := 2*(n.LinkLatency+n.SwitchDelay) + n.WorkBase + n.WorkSpread
+	respond := 8 * logical.Duration(n.Platforms) * perCall
+	if n.CallTimeout > 0 {
+		respond = 2*n.CallTimeout + perCall
+	}
+	return &MonitorSpec{
+		NoSilentCorruption: true,
+		RespondedWithin:    respond,
+		ReboundWithin:      2 * (n.LinkLatency + n.SwitchDelay),
+	}
 }
 
 // MeshPreset returns the E10 mesh scenario for n platforms: a ring of
@@ -306,6 +377,20 @@ func (s Spec) normalized() (Spec, error) {
 			s.Crash = &cp
 		}
 	}
+	if m := s.Monitors; m != nil {
+		if m.RespondedWithin < 0 {
+			return s, fmt.Errorf("scenario: negative respondedWithinNs (%d)", int64(m.RespondedWithin))
+		}
+		if m.ReboundWithin < 0 {
+			return s, fmt.Errorf("scenario: negative reboundWithinNs (%d)", int64(m.ReboundWithin))
+		}
+		if !m.enabled() {
+			// An all-zero monitors block enables nothing: canonicalize the
+			// residue away so Describe equality and behavioural equality
+			// keep coinciding.
+			s.Monitors = nil
+		}
+	}
 	if s.CallTimeout <= 0 {
 		// Without a timeout a lost request or response would park its
 		// client process forever and the run would end with silently
@@ -388,6 +473,14 @@ func Describe(s Spec) (string, error) {
 			c.Platform, int64(c.At), int64(c.RestartAt), c.RebornRounds)
 	} else {
 		b.WriteString("crash none\n")
+	}
+	if m := n.Monitors; m != nil {
+		// Rendered only when a block is present: monitors observe the run
+		// (their verdicts are diagnostics, not behaviour), but which
+		// properties a spec *demands* is part of its meaning — and
+		// monitor-free specs keep their golden Describe strings.
+		fmt.Fprintf(&b, "monitors corruption=%v respondedWithinNs=%d reboundWithinNs=%d\n",
+			m.NoSilentCorruption, int64(m.RespondedWithin), int64(m.ReboundWithin))
 	}
 	for i, targets := range edges {
 		fmt.Fprintf(&b, "plat%02d compute@%d ->", i, Port)

@@ -28,6 +28,11 @@ func validSpec() Spec {
 	}
 	s.Crash = &CrashPlan{Platform: 1, At: logical.Time(logical.Millisecond),
 		RestartAt: logical.Time(2 * logical.Millisecond), RebornRounds: 2}
+	s.Monitors = &MonitorSpec{
+		NoSilentCorruption: true,
+		RespondedWithin:    20 * logical.Millisecond,
+		ReboundWithin:      4 * logical.Millisecond,
+	}
 	return s
 }
 
@@ -67,6 +72,8 @@ func TestSpecRejectionMatrix(t *testing.T) {
 			s.Faults = &simnet.FaultPlan{Partitions: []simnet.PartitionWindow{{From: 0, To: 1, GroupA: []uint16{1}}}}
 		}, "CallTimeout"},
 		{"fault drop rate above one", func(s *Spec) { s.Faults.DropRate = 1.5 }, "outside [0,1]"},
+		{"negative responded-within", func(s *Spec) { s.Monitors.RespondedWithin = -1 }, "negative respondedWithinNs"},
+		{"negative rebound-within", func(s *Spec) { s.Monitors.ReboundWithin = -1 }, "negative reboundWithinNs"},
 	}
 	for _, tc := range cases {
 		spec := validSpec()
@@ -75,6 +82,8 @@ func TestSpecRejectionMatrix(t *testing.T) {
 		spec.Crash = &cp
 		fp := *spec.Faults
 		spec.Faults = &fp
+		mp := *spec.Monitors
+		spec.Monitors = &mp
 		tc.mut(&spec)
 		err := spec.Validate()
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -107,6 +116,19 @@ func TestNormalizedCanonicalizesResidue(t *testing.T) {
 	}
 	if *s.Crash != crashBefore {
 		t.Errorf("normalization mutated the caller's crash plan: %+v", *s.Crash)
+	}
+
+	// An all-zero monitors block enables nothing; it must normalize away
+	// so a spelled-out "no monitors" and an absent block describe — and
+	// behave — identically.
+	empty := validSpec()
+	empty.Monitors = &MonitorSpec{}
+	ne, err := empty.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.Monitors != nil {
+		t.Errorf("all-zero monitors block survived normalization: %+v", ne.Monitors)
 	}
 
 	// The residue rule is exactly what makes these pairs describe
@@ -200,6 +222,7 @@ func TestDescribeCoversEveryBehaviourField(t *testing.T) {
 		"CallTimeout":   func(s *Spec) { s.CallTimeout += logical.Millisecond },
 		"Faults":        func(s *Spec) { s.Faults = nil },
 		"Crash":         func(s *Spec) { s.Crash = nil },
+		"Monitors":      func(s *Spec) { s.Monitors = nil },
 	}
 	// Nested plans are behaviour too: every fault window parameter and
 	// crash field must surface in Describe.
@@ -215,6 +238,9 @@ func TestDescribeCoversEveryBehaviourField(t *testing.T) {
 		"Crash.RebornRounds": func(s *Spec) {
 			s.Crash.RebornRounds++
 		},
+		"Monitors.NoSilentCorruption": func(s *Spec) { s.Monitors.NoSilentCorruption = false },
+		"Monitors.RespondedWithin":    func(s *Spec) { s.Monitors.RespondedWithin += logical.Millisecond },
+		"Monitors.ReboundWithin":      func(s *Spec) { s.Monitors.ReboundWithin += logical.Millisecond },
 	}
 
 	base, err := Describe(validSpec())
@@ -231,6 +257,8 @@ func TestDescribeCoversEveryBehaviourField(t *testing.T) {
 		fp.Partitions = append([]simnet.PartitionWindow(nil), fp.Partitions...)
 		fp.Jitter = append([]simnet.JitterBurst(nil), fp.Jitter...)
 		spec.Faults = &fp
+		mp := *spec.Monitors
+		spec.Monitors = &mp
 		mut(&spec)
 		got, err := Describe(spec)
 		if err != nil {

@@ -47,6 +47,28 @@ type Recorder struct {
 	count   int
 	dropped uint64
 	seqs    map[string]uint64
+	tap     Tap
+}
+
+// Tap receives a copy of every event appended to a Recorder (see
+// SetTap). The monitor engine implements it, which is how online
+// runtime verification attaches to a live RecordingEndpoint stream:
+// the endpoints keep writing to the concrete Recorder, and the tap
+// observes the same stream without a second instrumentation seam.
+type Tap interface {
+	// TraceEvent mirrors the des.Tracer hook: one appended record's
+	// time, component, kind and payload (the full input bytes for
+	// stored-input records, so digests agree with the ring's).
+	TraceEvent(at logical.Time, component, kind string, payload []byte)
+}
+
+// SetTap installs a sink that observes every subsequently appended
+// record, in exact append order (the tap runs under the recorder's
+// lock — it must not call back into the recorder). A nil tap detaches.
+func (r *Recorder) SetTap(t Tap) {
+	r.mu.Lock()
+	r.tap = t
+	r.mu.Unlock()
 }
 
 // NewRecorder creates a recorder whose ring holds up to capacity
@@ -89,6 +111,9 @@ func (r *Recorder) TraceEvent(at logical.Time, component, kind string, payload [
 	seq := r.seqs[component] + 1
 	r.seqs[component] = seq
 	*r.slot() = Record{Time: at, Seq: seq, Component: component, Kind: kind, Digest: d}
+	if r.tap != nil {
+		r.tap.TraceEvent(at, component, kind, payload)
+	}
 	r.mu.Unlock()
 }
 
@@ -112,6 +137,9 @@ func (r *Recorder) recordInputOwned(at logical.Time, component, kind, src string
 	*r.slot() = Record{
 		Time: at, Seq: seq, Component: component, Kind: kind,
 		Digest: d, Src: src, Data: data,
+	}
+	if r.tap != nil {
+		r.tap.TraceEvent(at, component, kind, data)
 	}
 	r.mu.Unlock()
 }

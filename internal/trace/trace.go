@@ -63,6 +63,24 @@ const (
 	// KindNoise marks a delivered local-load datagram in the scenario
 	// engine (its record time carries the seeded delivery timing).
 	KindNoise = "noise"
+	// KindReq marks a client call issuance in the scenario engine — the
+	// open side of the request/response pair the responded-within
+	// monitor matches against a later KindCall or KindCallErr of the
+	// same component.
+	KindReq = "req"
+	// KindCrash marks a platform going down (the open side of a
+	// lifecycle obligation).
+	KindCrash = "crash"
+	// KindRestart marks a crashed platform coming back up.
+	KindRestart = "restart"
+	// KindBind marks a platform's service (re-)offer — the event that
+	// discharges a rebound-within obligation.
+	KindBind = "bind"
+	// KindCorrupt marks an input that failed an integrity check. The
+	// DEAR model refuses corrupt inputs structurally, so a correct run
+	// never emits one; the no-silent-corruption monitor watches for the
+	// sentinel.
+	KindCorrupt = "corrupt"
 )
 
 // Record is one logical event of a trace. Records are mode-
